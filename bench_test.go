@@ -1,0 +1,75 @@
+package repro
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment at the
+// Small scale once per iteration; the rendered result of the last
+// iteration is printed with -v via b.Log. The ns/op column is host CPU
+// cost of the whole experiment; the scientific output is the table.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// or regenerate a single figure at a larger scale with
+// cmd/ibridge-bench.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps `go test -bench=.` under a few minutes of host time.
+var benchScale = experiments.Small
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == b.N-1 {
+			b.Logf("\n%s", tbl.Render())
+		}
+	}
+}
+
+// Tables.
+
+func BenchmarkTableI(b *testing.B)   { benchmarkExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B)  { benchmarkExperiment(b, "table2") }
+func BenchmarkTableIII(b *testing.B) { benchmarkExperiment(b, "table3") }
+
+// Figures.
+
+func BenchmarkFig2a(b *testing.B)    { benchmarkExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)    { benchmarkExperiment(b, "fig2b") }
+func BenchmarkFig2Hist(b *testing.B) { benchmarkExperiment(b, "fig2hist") }
+func BenchmarkFig3(b *testing.B)     { benchmarkExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)     { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)     { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)     { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { benchmarkExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { benchmarkExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)    { benchmarkExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)    { benchmarkExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)    { benchmarkExperiment(b, "fig13") }
+
+// Ablations (DESIGN.md A1–A5).
+
+func BenchmarkAblationMagnification(b *testing.B) { benchmarkExperiment(b, "ablation-magnification") }
+func BenchmarkAblationPartition(b *testing.B)     { benchmarkExperiment(b, "ablation-partition") }
+func BenchmarkAblationEWMA(b *testing.B)          { benchmarkExperiment(b, "ablation-ewma") }
+func BenchmarkAblationSSDLog(b *testing.B)        { benchmarkExperiment(b, "ablation-ssdlog") }
+func BenchmarkAblationWriteback(b *testing.B)     { benchmarkExperiment(b, "ablation-writeback") }
+
+// Extensions beyond the paper: the ROMIO software alternatives its
+// related-work section discusses.
+
+func BenchmarkExtCollective(b *testing.B) { benchmarkExperiment(b, "ext-collective") }
+func BenchmarkExtSieving(b *testing.B)    { benchmarkExperiment(b, "ext-sieving") }
+func BenchmarkExtPLFS(b *testing.B)       { benchmarkExperiment(b, "ext-plfs") }
+func BenchmarkExtReadahead(b *testing.B)  { benchmarkExperiment(b, "ext-readahead") }

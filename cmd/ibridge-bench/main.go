@@ -1,0 +1,65 @@
+// Command ibridge-bench regenerates the paper's tables and figures from
+// the simulated cluster.
+//
+// Usage:
+//
+//	ibridge-bench -list
+//	ibridge-bench -exp fig4 -scale medium
+//	ibridge-bench -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale = flag.String("scale", "medium", "scale: smoke, small, medium, full")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		out   = flag.String("out", "", "also append rendered results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.List() {
+			fmt.Println(id)
+		}
+		return
+	}
+	s, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var sink io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		sink = io.MultiWriter(os.Stdout, f)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.List()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(sink, tbl.Render())
+		fmt.Fprintf(sink, "(%s completed in %.1fs host time at scale %s)\n\n", id, time.Since(start).Seconds(), s.Name)
+	}
+}

@@ -1,0 +1,82 @@
+// Command ibridge-trace analyzes and generates I/O traces in the format
+// of internal/trace.
+//
+// Usage:
+//
+//	ibridge-trace -analyze trace.txt            # Table I classification
+//	ibridge-trace -gen S3D -records 10000 -o s3d.txt
+//	ibridge-trace -gen all -records 10000       # Table I over all four
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		analyze = flag.String("analyze", "", "trace file to classify (Table I rules)")
+		gen     = flag.String("gen", "", "generate a synthetic trace: ALEGRA-2744, ALEGRA-5832, CTH, S3D, or 'all'")
+		records = flag.Int("records", 10000, "records to generate")
+		size    = flag.Int64("size", 10<<30, "file size bound for generated offsets")
+		seed    = flag.Uint64("seed", 42, "generation seed")
+		out     = flag.String("o", "", "output file for -gen (default stdout)")
+		unit    = flag.Int64("unit", 64*1024, "striping unit for classification")
+		random  = flag.Int64("random", 20*1024, "random-request threshold for classification")
+	)
+	flag.Parse()
+
+	cls := trace.Classifier{Unit: *unit, RandomThreshold: *random}
+	switch {
+	case *analyze != "":
+		f, err := os.Open(*analyze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Parse(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := cls.Analyze(tr)
+		fmt.Printf("trace:     %s\nrequests:  %d\nunaligned: %.1f%%\nrandom:    %.1f%%\ntotal:     %.1f%%\nmean size: %.1f KB\n",
+			tr.Name, b.Requests, b.UnalignedPct, b.RandomPct, b.TotalPct, b.MeanSize/1024)
+	case *gen == "all":
+		var traces []*trace.Trace
+		for _, cfg := range trace.Workloads(*records, *size, *seed) {
+			traces = append(traces, trace.Generate(cfg))
+		}
+		fmt.Print(trace.TableI(traces))
+	case *gen != "":
+		var found bool
+		for _, cfg := range trace.Workloads(*records, *size, *seed) {
+			if cfg.Name == *gen {
+				tr := trace.Generate(cfg)
+				w := os.Stdout
+				if *out != "" {
+					f, err := os.Create(*out)
+					if err != nil {
+						log.Fatal(err)
+					}
+					defer f.Close()
+					w = f
+				}
+				if err := tr.Write(w); err != nil {
+					log.Fatal(err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown workload %q", *gen)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,40 @@
+// Command pfs-meta runs the pfsnet metadata server.
+//
+// Usage:
+//
+//	pfs-meta -listen 127.0.0.1:7000 -unit 65536 \
+//	    -servers 127.0.0.1:7001,127.0.0.1:7002
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/pfsnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7000", "address to listen on")
+		unit    = flag.Int64("unit", 64*1024, "striping unit in bytes")
+		servers = flag.String("servers", "", "comma-separated data server addresses, in stripe order")
+	)
+	flag.Parse()
+	addrs := strings.Split(*servers, ",")
+	if *servers == "" || len(addrs) == 0 {
+		log.Fatal("pfs-meta: -servers is required")
+	}
+	ms, err := pfsnet.NewMetaServer(*listen, *unit, addrs)
+	if err != nil {
+		log.Fatalf("pfs-meta: %v", err)
+	}
+	log.Printf("pfs-meta: serving on %s (unit %d, %d data servers)", ms.Addr(), *unit, len(addrs))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("pfs-meta: shutting down")
+	ms.Close()
+}

@@ -1,0 +1,53 @@
+// Command pfs-server runs one pfsnet data server.
+//
+// Usage:
+//
+//	pfs-server -listen 127.0.0.1:7001 -ibridge
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/pfsnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		ibridge = flag.Bool("ibridge", false, "enable the iBridge fragment log")
+		dir     = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
+		stats   = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
+	)
+	flag.Parse()
+	var store pfsnet.ObjectStore = pfsnet.NewMemStore()
+	if *dir != "" {
+		var err error
+		store, err = pfsnet.NewFileStore(*dir)
+		if err != nil {
+			log.Fatalf("pfs-server: %v", err)
+		}
+	}
+	ds, err := pfsnet.NewDataServerWithStore(*listen, *ibridge, store)
+	if err != nil {
+		log.Fatalf("pfs-server: %v", err)
+	}
+	log.Printf("pfs-server: serving on %s (iBridge log: %v)", ds.Addr(), *ibridge)
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				s := ds.Stats()
+				log.Printf("pfs-server: reads=%d writes=%d fragWrites=%d fragReads=%d logBytes=%d",
+					s.Reads, s.Writes, s.FragmentWrites, s.FragmentReads, s.LogBytes)
+			}
+		}()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("pfs-server: shutting down")
+	ds.Close()
+}

@@ -1,0 +1,24 @@
+// Package repro is a reproduction of "iBridge: Improving Unaligned
+// Parallel File Access with Solid-State Drives" (Zhang, Liu, Davis,
+// Jiang; IPDPS 2013) as a self-contained Go library.
+//
+// The repository contains:
+//
+//   - internal/core: iBridge itself — the return-value model (Eqs. 1–3),
+//     the SSD cache with its log allocator, mapping table, dynamic
+//     two-class partition, and idle writeback;
+//   - the substrates it runs on: a deterministic discrete-event engine
+//     (internal/sim), device models (internal/hdd, internal/ssd), block
+//     schedulers (internal/iosched), a striped parallel file system
+//     (internal/stripe, internal/pfs), and an MPI-IO-style layer
+//     (internal/mpiio);
+//   - a real TCP striped file system with the iBridge fragment protocol
+//     (internal/pfsnet) and runnable servers (cmd/pfs-meta,
+//     cmd/pfs-server);
+//   - the paper's benchmarks and traces (internal/workload,
+//     internal/trace) and the full experiment harness that regenerates
+//     every table and figure (internal/experiments, cmd/ibridge-bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

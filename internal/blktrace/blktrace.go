@@ -1,0 +1,162 @@
+// Package blktrace collects block-layer dispatch records and builds the
+// request-size distributions the paper reports with the Linux blktrace
+// tool (Figures 2(c)–(e) and 5). Sizes are counted in 512-byte sectors,
+// the unit used in the paper's histograms.
+package blktrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Collector records every request dispatched by an I/O scheduler. It
+// implements iosched.Tracer. The zero value is not usable; use New.
+type Collector struct {
+	name  string
+	sizes map[int64]int64 // sectors → dispatch count
+	ops   [2]int64
+	bytes [2]int64
+	first sim.Time
+	last  sim.Time
+	n     int64
+}
+
+// New returns an empty collector labelled name.
+func New(name string) *Collector {
+	return &Collector{name: name, sizes: make(map[int64]int64)}
+}
+
+// Dispatch implements iosched.Tracer.
+func (c *Collector) Dispatch(now sim.Time, r device.Request) {
+	if c.n == 0 {
+		c.first = now
+	}
+	c.last = now
+	c.n++
+	c.sizes[r.Sectors]++
+	c.ops[r.Op]++
+	c.bytes[r.Op] += r.Bytes()
+}
+
+// Name returns the collector's label.
+func (c *Collector) Name() string { return c.name }
+
+// Requests returns the total number of dispatched requests.
+func (c *Collector) Requests() int64 { return c.n }
+
+// Bytes returns the total bytes dispatched.
+func (c *Collector) Bytes() int64 { return c.bytes[device.Read] + c.bytes[device.Write] }
+
+// Reset clears all counts, e.g. to discard a warm-up phase before the
+// measured window.
+func (c *Collector) Reset() {
+	c.sizes = make(map[int64]int64)
+	c.ops = [2]int64{}
+	c.bytes = [2]int64{}
+	c.n = 0
+	c.first, c.last = 0, 0
+}
+
+// Merge folds the counts of other into c (to aggregate per-server
+// collectors into a cluster-wide distribution).
+func (c *Collector) Merge(other *Collector) {
+	for s, n := range other.sizes {
+		c.sizes[s] += n
+	}
+	for op := range c.ops {
+		c.ops[op] += other.ops[op]
+		c.bytes[op] += other.bytes[op]
+	}
+	c.n += other.n
+}
+
+// SizeCount is one histogram bucket: a request size in sectors and the
+// fraction of dispatched requests with exactly that size.
+type SizeCount struct {
+	Sectors  int64
+	Count    int64
+	Fraction float64
+}
+
+// Distribution returns the request-size histogram sorted by size.
+func (c *Collector) Distribution() []SizeCount {
+	out := make([]SizeCount, 0, len(c.sizes))
+	for s, n := range c.sizes {
+		out = append(out, SizeCount{Sectors: s, Count: n, Fraction: float64(n) / float64(c.n)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sectors < out[j].Sectors })
+	return out
+}
+
+// TopSizes returns the k most frequent request sizes, most frequent first.
+func (c *Collector) TopSizes(k int) []SizeCount {
+	d := c.Distribution()
+	sort.Slice(d, func(i, j int) bool {
+		if d[i].Count != d[j].Count {
+			return d[i].Count > d[j].Count
+		}
+		return d[i].Sectors < d[j].Sectors
+	})
+	if k > len(d) {
+		k = len(d)
+	}
+	return d[:k]
+}
+
+// FractionAtLeast returns the fraction of dispatched requests whose size
+// is at least the given number of sectors.
+func (c *Collector) FractionAtLeast(sectors int64) float64 {
+	if c.n == 0 {
+		return 0
+	}
+	var n int64
+	for s, cnt := range c.sizes {
+		if s >= sectors {
+			n += cnt
+		}
+	}
+	return float64(n) / float64(c.n)
+}
+
+// MeanSectors returns the mean dispatched request size in sectors.
+func (c *Collector) MeanSectors() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	var sum int64
+	for s, cnt := range c.sizes {
+		sum += s * cnt
+	}
+	return float64(sum) / float64(c.n)
+}
+
+// Render formats the distribution as an ASCII histogram in the style of
+// the paper's figures: one row per size bucket with a percentage bar.
+func (c *Collector) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "block-level request size distribution (%s): %d requests\n", c.name, c.n)
+	for _, sc := range c.Distribution() {
+		if sc.Fraction < 0.005 {
+			continue // match the paper's figures, which drop sub-0.5% bins
+		}
+		bar := strings.Repeat("#", int(sc.Fraction*60+0.5))
+		fmt.Fprintf(&b, "%5d sectors (%7s): %5.1f%% %s\n",
+			sc.Sectors, fmtBytes(sc.Sectors*device.SectorSize), sc.Fraction*100, bar)
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

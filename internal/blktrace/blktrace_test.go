@@ -1,0 +1,105 @@
+package blktrace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestDistribution(t *testing.T) {
+	c := New("test")
+	for i := 0; i < 72; i++ {
+		c.Dispatch(0, device.Request{Op: device.Read, LBN: 0, Sectors: 128})
+	}
+	for i := 0; i < 18; i++ {
+		c.Dispatch(0, device.Request{Op: device.Read, LBN: 0, Sectors: 256})
+	}
+	for i := 0; i < 10; i++ {
+		c.Dispatch(0, device.Request{Op: device.Write, LBN: 0, Sectors: 8})
+	}
+	if c.Requests() != 100 {
+		t.Fatalf("Requests = %d", c.Requests())
+	}
+	d := c.Distribution()
+	if len(d) != 3 {
+		t.Fatalf("distribution has %d bins, want 3", len(d))
+	}
+	if d[0].Sectors != 8 || d[1].Sectors != 128 || d[2].Sectors != 256 {
+		t.Fatalf("bins not sorted: %v", d)
+	}
+	if d[1].Fraction != 0.72 {
+		t.Fatalf("128-sector fraction = %v, want 0.72", d[1].Fraction)
+	}
+}
+
+func TestTopSizes(t *testing.T) {
+	c := New("test")
+	sizes := map[int64]int{128: 50, 256: 30, 8: 20}
+	for s, n := range sizes {
+		for i := 0; i < n; i++ {
+			c.Dispatch(0, device.Request{Op: device.Read, Sectors: s})
+		}
+	}
+	top := c.TopSizes(2)
+	if len(top) != 2 || top[0].Sectors != 128 || top[1].Sectors != 256 {
+		t.Fatalf("TopSizes = %v", top)
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	c := New("test")
+	for _, s := range []int64{8, 64, 128, 256} {
+		c.Dispatch(0, device.Request{Op: device.Read, Sectors: s})
+	}
+	if got := c.FractionAtLeast(128); got != 0.5 {
+		t.Fatalf("FractionAtLeast(128) = %v, want 0.5", got)
+	}
+	if got := c.FractionAtLeast(1); got != 1.0 {
+		t.Fatalf("FractionAtLeast(1) = %v, want 1", got)
+	}
+}
+
+func TestMeanSectors(t *testing.T) {
+	c := New("test")
+	c.Dispatch(0, device.Request{Op: device.Read, Sectors: 100})
+	c.Dispatch(0, device.Request{Op: device.Read, Sectors: 300})
+	if got := c.MeanSectors(); got != 200 {
+		t.Fatalf("MeanSectors = %v, want 200", got)
+	}
+	empty := New("e")
+	if empty.MeanSectors() != 0 {
+		t.Fatal("empty collector mean not 0")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New("a"), New("b")
+	a.Dispatch(0, device.Request{Op: device.Read, Sectors: 128})
+	b.Dispatch(0, device.Request{Op: device.Write, Sectors: 128})
+	b.Dispatch(0, device.Request{Op: device.Write, Sectors: 64})
+	a.Merge(b)
+	if a.Requests() != 3 {
+		t.Fatalf("merged requests = %d, want 3", a.Requests())
+	}
+	if a.Bytes() != (128+128+64)*device.SectorSize {
+		t.Fatalf("merged bytes = %d", a.Bytes())
+	}
+}
+
+func TestRender(t *testing.T) {
+	c := New("fig2c")
+	for i := 0; i < 72; i++ {
+		c.Dispatch(0, device.Request{Op: device.Read, Sectors: 128})
+	}
+	for i := 0; i < 28; i++ {
+		c.Dispatch(0, device.Request{Op: device.Read, Sectors: 256})
+	}
+	out := c.Render()
+	if !strings.Contains(out, "128 sectors") || !strings.Contains(out, "72.0%") {
+		t.Fatalf("render missing expected rows:\n%s", out)
+	}
+	if !strings.Contains(out, "64.0KB") {
+		t.Fatalf("render missing byte size:\n%s", out)
+	}
+}

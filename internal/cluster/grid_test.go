@@ -1,0 +1,99 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	. "repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestGridIBridgeNeverRegresses sweeps a grid of unaligned configurations
+// and asserts the reproduction's core invariant: iBridge never loses to
+// the stock system by more than run-to-run noise, and strictly wins where
+// true fragments dominate.
+func TestGridIBridgeNeverRegresses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweep in -short mode")
+	}
+	type point struct {
+		size, shift int64
+		write       bool
+	}
+	grid := []point{
+		{65 * workload.KB, 0, true},
+		{33 * workload.KB, 0, true},
+		{64 * workload.KB, 1 * workload.KB, true},
+		{64 * workload.KB, 10 * workload.KB, true},
+		{129 * workload.KB, 0, true},
+	}
+	run := func(mode Mode, pt point, seed uint64) float64 {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.Seed = seed
+		cfg.IBridge.SSDCapacity = 512 << 20
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := c.Run(workload.MPIIOTest(workload.MPIIOTestConfig{
+			Procs: 32, RequestSize: pt.size, Shift: pt.shift,
+			FileBytes: 64 * workload.MB, Write: pt.write,
+			Jitter: workload.DefaultJitter, Seed: seed,
+		}))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.ThroughputMBps()
+	}
+	for _, pt := range grid {
+		pt := pt
+		name := fmt.Sprintf("size=%dKB+%dKB", pt.size/1024, pt.shift/1024)
+		t.Run(name, func(t *testing.T) {
+			// Average two seeds to damp attractor noise.
+			var stock, ib float64
+			for seed := uint64(1); seed <= 2; seed++ {
+				stock += run(Stock, pt, seed)
+				ib += run(IBridge, pt, seed)
+			}
+			stock /= 2
+			ib /= 2
+			t.Logf("stock %.1f MB/s, iBridge %.1f MB/s (%+.0f%%)", stock, ib, 100*(ib/stock-1))
+			if ib < 0.93*stock {
+				t.Errorf("iBridge regressed: %.1f vs stock %.1f MB/s", ib, stock)
+			}
+		})
+	}
+}
+
+// TestGridModesDeterministic verifies bit-identical reruns for all three
+// storage modes on the same configuration.
+func TestGridModesDeterministic(t *testing.T) {
+	for _, mode := range []Mode{Stock, IBridge, SSDOnly} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			run := func() Result {
+				cfg := DefaultConfig()
+				cfg.Mode = mode
+				cfg.IBridge.SSDCapacity = 256 << 20
+				c, err := New(cfg)
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				res, err := c.Run(workload.MPIIOTest(workload.MPIIOTestConfig{
+					Procs: 16, RequestSize: 65 * workload.KB,
+					FileBytes: 32 * workload.MB, Write: true,
+					Jitter: workload.DefaultJitter,
+				}))
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.Elapsed != b.Elapsed || a.FlushTime != b.FlushTime || a.Bytes != b.Bytes {
+				t.Fatalf("mode %v not deterministic: %+v vs %+v", mode, a, b)
+			}
+		})
+	}
+}

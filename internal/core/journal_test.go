@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// statesEqual compares a live snapshot with a recovery.
+func statesEqual(a, b RecoveredState) bool {
+	if a.DirtySectors != b.DirtySectors || len(a.Extents) != len(b.Extents) {
+		return false
+	}
+	for i := range a.Extents {
+		if a.Extents[i] != b.Extents[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJournalRecoverMatchesAfterWrites(t *testing.T) {
+	e := sim.New()
+	b, _ := testBridge(e, func(c *Config) { c.IdleCheck = sim.Second })
+	runSim(t, e, func(p *sim.Proc) {
+		driveT(p, b)
+		for i := int64(0); i < 20; i++ {
+			b.Serve(p, frag(device.Write, 1<<27+i*1000, 2))
+			b.trk.prevLBN = 0
+		}
+	})
+	if b.JournalRecords() == 0 {
+		t.Fatal("no journal records written")
+	}
+	if !statesEqual(b.Snapshot(), b.Recover()) {
+		t.Fatalf("recovery diverged:\nlive:      %+v\nrecovered: %+v", b.Snapshot(), b.Recover())
+	}
+	if b.Recover().DirtySectors != 40 {
+		t.Fatalf("recovered dirty sectors = %d, want 40", b.Recover().DirtySectors)
+	}
+}
+
+func TestJournalRecoverAfterWriteback(t *testing.T) {
+	e := sim.New()
+	b, _ := testBridge(e, func(c *Config) { c.IdleCheck = sim.Second })
+	runSim(t, e, func(p *sim.Proc) {
+		driveT(p, b)
+		for i := int64(0); i < 8; i++ {
+			b.Serve(p, frag(device.Write, 1<<27+i*1000, 2))
+			b.trk.prevLBN = 0
+		}
+		b.Flush(p)
+	})
+	rec := b.Recover()
+	if rec.DirtySectors != 0 {
+		t.Fatalf("recovered %d dirty sectors after flush; a crash now would redo writeback", rec.DirtySectors)
+	}
+	if !statesEqual(b.Snapshot(), rec) {
+		t.Fatal("recovery diverged after writeback")
+	}
+}
+
+func TestJournalRecoverAfterInvalidation(t *testing.T) {
+	e := sim.New()
+	b, _ := testBridge(e, func(c *Config) { c.IdleCheck = sim.Second })
+	runSim(t, e, func(p *sim.Proc) {
+		driveT(p, b)
+		b.Serve(p, frag(device.Write, 1<<27, 8))
+		// Overwrite the middle through the disk path: split.
+		b.Serve(p, large(device.Write, 1<<27+2, 2))
+	})
+	rec := b.Recover()
+	if len(rec.Extents) != 2 {
+		t.Fatalf("recovered %d extents, want 2 (split remnants)", len(rec.Extents))
+	}
+	if !statesEqual(b.Snapshot(), rec) {
+		t.Fatalf("recovery diverged:\nlive:      %+v\nrecovered: %+v", b.Snapshot(), rec)
+	}
+}
+
+func TestJournalRecoverAfterEvictions(t *testing.T) {
+	e := sim.New()
+	b, _ := testBridge(e, func(c *Config) {
+		c.SSDCapacity = 16 * device.SectorSize
+		c.DynamicPartition = false
+		c.StaticFragShare = 0.5
+		c.TablePersist = false
+		c.IdleCheck = sim.Second
+	})
+	runSim(t, e, func(p *sim.Proc) {
+		driveT(p, b)
+		for i := int64(0); i < 12; i++ {
+			b.Serve(p, frag(device.Write, 1<<27+i*100, 2))
+			b.trk.prevLBN = 0
+		}
+	})
+	if b.Stats().Evictions == 0 {
+		t.Fatal("test needs evictions")
+	}
+	if !statesEqual(b.Snapshot(), b.Recover()) {
+		t.Fatal("recovery diverged after evictions")
+	}
+}
+
+// TestJournalRecoveryProperty drives a random mixed workload and asserts
+// the crash-recovery invariant: replaying the journal always rebuilds
+// exactly the live mapping table.
+func TestJournalRecoveryProperty(t *testing.T) {
+	type op struct {
+		Write   bool
+		Frag    bool
+		Slot    uint8
+		Sectors uint8
+	}
+	if err := quick.Check(func(ops []op) bool {
+		e := sim.New()
+		b, _ := testBridge(e, func(c *Config) {
+			c.SSDCapacity = 64 * device.SectorSize
+			c.IdleCheck = 100 * sim.Millisecond
+		})
+		ok := true
+		e.Go("wl", func(p *sim.Proc) {
+			driveT(p, b)
+			for _, o := range ops {
+				lbn := 1<<26 + int64(o.Slot%32)*16
+				n := int64(o.Sectors%6) + 1
+				var r *pfs.IORequest
+				switch {
+				case o.Frag:
+					r = frag(opOf(o.Write), lbn, n)
+				default:
+					r = random(opOf(o.Write), lbn, n)
+				}
+				b.Serve(p, r)
+				b.trk.prevLBN = 0
+			}
+			if !statesEqual(b.Snapshot(), b.Recover()) {
+				ok = false
+			}
+			e.Halt()
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func opOf(write bool) device.Op {
+	if write {
+		return device.Write
+	}
+	return device.Read
+}

@@ -1,0 +1,116 @@
+// Package device defines the abstractions shared by the simulated storage
+// devices (internal/hdd, internal/ssd): block-level requests, device specs
+// in the style of the paper's Table II, and service statistics.
+//
+// Devices operate on a logical-block-number (LBN) address space measured in
+// 512-byte sectors, matching the granularity the paper uses for its
+// blktrace request-size distributions.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SectorSize is the size in bytes of one logical block (disk sector).
+const SectorSize = 512
+
+// Op distinguishes reads from writes.
+type Op uint8
+
+// The two block-level operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one block-level I/O request dispatched to a device.
+type Request struct {
+	Op      Op
+	LBN     int64 // first sector
+	Sectors int64 // length in sectors
+	// Origin identifies the issuing process context (MPI rank or
+	// server daemon); the CFQ-style scheduler groups requests by it.
+	Origin int32
+}
+
+// Bytes returns the request length in bytes.
+func (r Request) Bytes() int64 { return r.Sectors * SectorSize }
+
+// End returns the LBN one past the last sector of the request.
+func (r Request) End() int64 { return r.LBN + r.Sectors }
+
+func (r Request) String() string {
+	return fmt.Sprintf("%s[%d+%d]", r.Op, r.LBN, r.Sectors)
+}
+
+// Contiguous reports whether s starts exactly where r ends (back-merge
+// candidate) and has the same operation.
+func (r Request) Contiguous(s Request) bool {
+	return r.Op == s.Op && r.End() == s.LBN
+}
+
+// Device is a simulated block storage device. Serve blocks the calling
+// simulated process for the virtual duration of the request and returns
+// that duration. Devices serialize internally: concurrent Serve calls
+// queue at the medium.
+type Device interface {
+	// Serve executes r, blocking p in virtual time.
+	Serve(p *sim.Proc, r Request) sim.Duration
+	// EstimateService predicts the service time of r if it were issued
+	// right now, without executing it. Used by the iBridge return-value
+	// model (Eq. 1 of the paper).
+	EstimateService(r Request) sim.Duration
+	// Name identifies the device in traces and logs.
+	Name() string
+	// Stats returns accumulated service statistics.
+	Stats() *Stats
+	// IdleSince returns the virtual time at which the device last
+	// completed a request with an empty queue, for idle detection by
+	// the writeback daemon. A busy device returns the current time.
+	IdleSince() sim.Time
+	// Capacity returns the device capacity in bytes.
+	Capacity() int64
+}
+
+// Stats accumulates device service statistics.
+type Stats struct {
+	Ops      [2]int64     // per Op
+	Bytes    [2]int64     // per Op
+	BusyTime sim.Duration // total time the medium was busy
+	SeekTime sim.Duration // time spent positioning (HDD only)
+	Seeks    int64        // repositioning operations (HDD only)
+	SeqOps   [2]int64     // requests served without repositioning
+}
+
+// TotalOps returns the total number of requests served.
+func (s *Stats) TotalOps() int64 { return s.Ops[Read] + s.Ops[Write] }
+
+// TotalBytes returns the total number of bytes moved.
+func (s *Stats) TotalBytes() int64 { return s.Bytes[Read] + s.Bytes[Write] }
+
+// Throughput returns the average device throughput in bytes per second of
+// virtual time over elapsed.
+func (s *Stats) Throughput(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.TotalBytes()) / elapsed.Seconds()
+}
+
+// Utilization returns the fraction of elapsed virtual time the medium was
+// busy.
+func (s *Stats) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.BusyTime.Seconds() / elapsed.Seconds()
+}

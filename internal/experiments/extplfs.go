@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpiio"
+	"repro/internal/plfs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ext-plfs", extPLFS)
+}
+
+// extPLFS compares the two answers to unaligned checkpoint writes that
+// the paper's related work contrasts: PLFS's client-side log
+// restructuring (writes become sequential, reads scatter) vs iBridge's
+// server-side SSD absorption (writes unchanged in layout, fragments
+// absorbed; reads keep locality). The workload is a +10KB-offset
+// checkpoint whose pieces are written in data-dependent (shuffled)
+// order — as real solvers emit them — followed by a sequential restart
+// read. PLFS turns the shuffled writes into pure log appends but its
+// restart reads then follow the shuffle through the logs; iBridge keeps
+// the logical layout, so the restart stays sequential.
+func extPLFS(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "ext-plfs",
+		Title:   "unaligned checkpoint write + sequential restart read (64 procs)",
+		Columns: []string{"system", "write time (s)", "read time (s)", "total (s)"},
+	}
+	const procs = 64
+	const req = 64 * kb
+	const shift = 10 * kb
+	fileBytes := s.MPIIOBytes
+
+	// Stock and iBridge: the mpi-io-test pattern writes the file with a
+	// +10KB displacement, then every rank reads its share sequentially.
+	runPFS := func(mode cluster.Mode) (write, read sim.Duration, err error) {
+		cfg := baseConfig(s, mode)
+		c, cerr := cluster.New(cfg)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		var writeEnd, readEnd sim.Time
+		w := func(cl *cluster.Cluster, p *sim.Proc) {
+			f, ferr := cl.FS.Create("ckpt", fileBytes+shift+req)
+			if ferr != nil {
+				panic(ferr)
+			}
+			world := mpiio.NewWorld(cl.Engine, cl.Client(), f, procs)
+			rng := sim.NewRNG(11)
+			rngs := make([]*sim.RNG, procs)
+			for i := range rngs {
+				rngs[i] = rng.Fork()
+			}
+			iters := fileBytes / (procs * req)
+			perm := sim.NewRNG(99).Perm(int(iters))
+			done := world.Spawn("ckpt", func(r *mpiio.Rank) {
+				for _, ki := range perm {
+					k := int64(ki)
+					r.Compute(rngs[r.ID].Duration(0, workload.DefaultJitter))
+					r.WriteAt(k*procs*req+int64(r.ID)*req+shift, req)
+				}
+				r.Barrier()
+				if r.ID == 0 {
+					writeEnd = r.P.Now()
+				}
+				r.Barrier()
+				// Restart: sequential read-back of the rank's share.
+				chunk := fileBytes / procs
+				for off := int64(0); off+req <= chunk; off += req {
+					r.Compute(rngs[r.ID].Duration(0, workload.DefaultJitter))
+					r.ReadAt(int64(r.ID)*chunk+off+shift, req)
+				}
+				r.Barrier()
+				if r.ID == 0 {
+					readEnd = r.P.Now()
+				}
+			})
+			done.Wait(p)
+		}
+		res, rerr := c.Run(w)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		// Charge the flush (dirty SSD data) to the write phase.
+		return sim.Duration(writeEnd) + res.FlushTime, readEnd.Sub(writeEnd), nil
+	}
+
+	// PLFS: the same logical writes go through the log mount; the
+	// restart reads resolve through the index.
+	runPLFS := func() (write, read sim.Duration, err error) {
+		cfg := baseConfig(s, cluster.Stock)
+		c, cerr := cluster.New(cfg)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		var writeEnd, readEnd sim.Time
+		w := func(cl *cluster.Cluster, p *sim.Proc) {
+			m, merr := plfs.Create(cl.FS, "ckpt", fileBytes+shift+req, procs)
+			if merr != nil {
+				panic(merr)
+			}
+			barrier := sim.NewBarrier(cl.Engine, procs)
+			rng := sim.NewRNG(11)
+			rngs := make([]*sim.RNG, procs)
+			for i := range rngs {
+				rngs[i] = rng.Fork()
+			}
+			iters := fileBytes / (procs * req)
+			perm := sim.NewRNG(99).Perm(int(iters))
+			done := sim.NewCounter(cl.Engine, procs)
+			for rank := 0; rank < procs; rank++ {
+				rank := rank
+				cl.Engine.Go(fmt.Sprintf("plfs-rank%d", rank), func(p *sim.Proc) {
+					for _, ki := range perm {
+						k := int64(ki)
+						p.Sleep(rngs[rank].Duration(0, workload.DefaultJitter))
+						if err := m.WriteAt(p, rank, k*procs*req+int64(rank)*req+shift, req); err != nil {
+							panic(err)
+						}
+					}
+					barrier.Wait(p)
+					if rank == 0 {
+						writeEnd = p.Now()
+					}
+					barrier.Wait(p)
+					chunk := fileBytes / procs
+					for off := int64(0); off+req <= chunk; off += req {
+						p.Sleep(rngs[rank].Duration(0, workload.DefaultJitter))
+						if _, err := m.ReadAt(p, int64(rank)*chunk+off+shift, req); err != nil {
+							panic(err)
+						}
+					}
+					barrier.Wait(p)
+					if rank == 0 {
+						readEnd = p.Now()
+					}
+					done.Done()
+				})
+			}
+			done.Wait(p)
+		}
+		if _, rerr := c.Run(w); rerr != nil {
+			return 0, 0, rerr
+		}
+		return sim.Duration(writeEnd), readEnd.Sub(writeEnd), nil
+	}
+
+	type row struct {
+		name string
+		f    func() (sim.Duration, sim.Duration, error)
+	}
+	rows := []row{
+		{"stock", func() (sim.Duration, sim.Duration, error) { return runPFS(cluster.Stock) }},
+		{"PLFS (mini)", runPLFS},
+		{"iBridge", func() (sim.Duration, sim.Duration, error) { return runPFS(cluster.IBridge) }},
+	}
+	for _, r := range rows {
+		w, rd, err := r.f()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.name,
+			fmt.Sprintf("%.1f", w.Seconds()),
+			fmt.Sprintf("%.1f", rd.Seconds()),
+			fmt.Sprintf("%.1f", (w+rd).Seconds()))
+	}
+	t.Note("PLFS rearranges unaligned writes into per-rank log appends; its restart reads resolve through the index into the logs (the paper's criticism: \"spatial locality is largely lost in the log file system\")")
+	t.Note("measured shape: iBridge gives the best total — it fixes the write side without changing the logical layout, so the restart read stays as fast as an aligned read; PLFS improves the restart over stock here because at these scales the rank logs are small and dense, muting the locality loss")
+	return t, nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig12", fig12)
+	register("fig13", fig13)
+}
+
+// fig12 reproduces Figure 12: heterogeneous workloads. mpi-io-test
+// (65 KB writes — fragments) runs concurrently with BTIO (tiny writes —
+// regular random requests). The SSD partitioning is either static (1:1 or
+// 1:2 random:fragment) or iBridge's dynamic return-proportional split.
+func fig12(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig12",
+		Title:   "heterogeneous mpi-io-test + BTIO throughput (MB/s)",
+		Columns: []string{"config", "mpi-io-test", "BTIO", "aggregate"},
+	}
+	type partition struct {
+		name      string
+		mode      cluster.Mode
+		dynamic   bool
+		fragShare float64
+	}
+	configs := []partition{
+		{"stock (no SSD)", cluster.Stock, false, 0},
+		{"static 1:1", cluster.IBridge, false, 0.5},
+		{"static 1:2", cluster.IBridge, false, 2.0 / 3.0},
+		{"dynamic", cluster.IBridge, true, 0},
+	}
+	// The paper sizes the SSD (8 GB against 10+6.8 GB of data) below
+	// the combined candidate working set so that partitioning matters:
+	// roughly half of (mpi-io-test fragments ≈ 10% of its data) plus
+	// BTIO's dirty set, split across the servers.
+	ssdPerServer := (s.MPIIOBytes/10 + s.BTIOBytes) / 8 / 2
+	for _, pc := range configs {
+		cfg := baseConfig(s, pc.mode)
+		cfg.IBridge.SSDCapacity = ssdPerServer
+		cfg.IBridge.DynamicPartition = pc.dynamic
+		if !pc.dynamic {
+			cfg.IBridge.StaticFragShare = pc.fragShare
+		}
+		// Average *times* over seeds (rate averages let one fast
+		// outlier run dominate): the partition effect (paper: 5–13%)
+		// is of the same order as run-to-run variation.
+		var mpiTime, btioTime float64
+		const seeds = 5
+		for seed := uint64(1); seed <= seeds; seed++ {
+			cfg.Seed = seed
+			c, err := cluster.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			mpiRep := &workload.Report{}
+			var bt workload.BTIOResult
+			mpi := workload.MPIIOTest(workload.MPIIOTestConfig{
+				Procs: 64, RequestSize: 65 * kb, Write: true,
+				FileBytes: s.MPIIOBytes, Jitter: workload.DefaultJitter,
+				Seed: seed, Report: mpiRep,
+			})
+			btio := workload.BTIO(workload.BTIOConfig{
+				Procs: 64, DataBytes: s.BTIOBytes, Steps: s.BTIOSteps,
+				ComputePerStep: s.BTIOCompute / sim64(s.BTIOSteps),
+			}, &bt)
+			if _, err := c.Run(workload.Combine(mpi, btio)); err != nil {
+				return nil, err
+			}
+			mpiTime += mpiRep.Elapsed().Seconds()
+			btioTime += bt.IOTime.Seconds()
+		}
+		mpiT := float64(s.MPIIOBytes/(65*kb)/64*64*65*kb) / (mpiTime / seeds) / 1e6
+		// BTIO's I/O throughput over its I/O phases (compute time is
+		// not I/O throughput).
+		btioT := float64(s.BTIOBytes) / (btioTime / seeds) / 1e6
+		t.AddRow(pc.name, mbps(mpiT), mbps(btioT), mbps(mpiT+btioT))
+	}
+	t.Note("paper: dynamic partitioning beats static 1:1 by 13%% and 1:2 by 5%% in aggregate; iBridge aggregate is 53%% above stock")
+	t.Note("expected shape: stock < static 1:1 <= static 1:2 <= dynamic in aggregate throughput")
+	return t, nil
+}
+
+// fig13 reproduces Figure 13: the request-size threshold sweep for
+// mpi-io-test with 65 KB writes. Throughput is normalized to the aligned
+// 64 KB run; SSD usage is normalized to the total data accessed.
+func fig13(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig13",
+		Title:   "threshold sweep: 65KB mpi-io-test (64 procs, writes)",
+		Columns: []string{"threshold", "throughput MB/s", "normalized", "SSD usage / data"},
+	}
+	// Aligned reference.
+	_, alignedRep, err := mpiioRun(s, baseConfig(s, cluster.Stock), workload.MPIIOTestConfig{
+		Procs: 64, RequestSize: 64 * kb, Write: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	aligned := alignedRep.ThroughputMBps()
+	for _, th := range []int64{10 * kb, 20 * kb, 30 * kb, 40 * kb} {
+		cfg := baseConfig(s, cluster.IBridge)
+		cfg.FragmentThreshold = th
+		cfg.RandomThreshold = th
+		res, rep, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{
+			Procs: 64, RequestSize: 65 * kb, Write: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		usage := float64(res.PeakSSDUsage) / float64(res.Bytes)
+		t.AddRow(
+			fmt.Sprintf("%dKB", th/kb),
+			mbps(rep.ThroughputMBps()),
+			fmt.Sprintf("%.2f", rep.ThroughputMBps()/aligned),
+			fmt.Sprintf("%.1f%%", usage*100),
+		)
+	}
+	t.Note("aligned 64KB reference: %.1f MB/s (paper: 164 MB/s)", aligned)
+	t.Note("paper: 40KB threshold gives +56%% throughput over 10KB but SSD usage grows 3%%→42%%; 20KB chosen as the balance")
+	t.Note("expected shape: throughput and SSD usage both increase monotonically with the threshold")
+	return t, nil
+}
+
+// sim64 converts a product to sim.Duration divisor-friendly form.
+func sim64(n int) sim.Duration { return sim.Duration(n) }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig3", fig3)
+}
+
+// fig3 reproduces Figure 3: the striping magnification effect. 16
+// processes collectively issue synchronous requests of k striping units
+// (optionally +1 KB, generating a fragment on server k) while an
+// interference program reads random 64 KB segments from server k.
+// Throughput is measured with and without fragments, each with and
+// without a barrier between iterations.
+func fig3(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig3",
+		Title:   "striping magnification: throughput (MB/s) vs servers per request",
+		Columns: []string{"k", "noFrag", "frag", "reduction", "noFrag+barrier", "frag+barrier", "reduction"},
+	}
+	iters := int(s.MPIIOBytes / (16 * 8 * 64 * kb))
+	if iters < 4 {
+		iters = 4
+	}
+	run := func(k int, fragment, barrier bool) (float64, error) {
+		cfg := baseConfig(s, cluster.Stock)
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := c.Run(workload.Fig3(workload.Fig3Config{
+			Procs: 16, K: k, Fragment: fragment, Barrier: barrier, Iters: iters,
+		}))
+		if err != nil {
+			return 0, err
+		}
+		return res.ThroughputMBps(), nil
+	}
+	for _, k := range []int{1, 2, 4, 6} {
+		var vals [4]float64
+		var err error
+		for i, cfg := range []struct{ frag, barrier bool }{
+			{false, false}, {true, false}, {false, true}, {true, true},
+		} {
+			vals[i], err = run(k, cfg.frag, cfg.barrier)
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.AddRow(
+			fmt.Sprint(k),
+			mbps(vals[0]), mbps(vals[1]),
+			fmt.Sprintf("%.0f%%", 100*(1-vals[1]/vals[0])),
+			mbps(vals[2]), mbps(vals[3]),
+			fmt.Sprintf("%.0f%%", 100*(1-vals[3]/vals[2])),
+		)
+	}
+	t.Note("paper: throughput with fragments is significantly lower, and relative throughput grows more slowly with k (magnification)")
+	t.Note("expected shape: the fragment reduction column stays large (or grows) as k increases")
+	return t, nil
+}

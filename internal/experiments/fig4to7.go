@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpiio"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig4", fig4)
+	register("fig5", fig5)
+	register("fig6", fig6)
+	register("fig7", fig7)
+}
+
+// fig4Case is one bar group of Figure 4: a request size or offset.
+type fig4Case struct {
+	name        string
+	size, shift int64
+}
+
+func fig4Cases() []fig4Case {
+	return []fig4Case{
+		{"33KB", 33 * kb, 0},
+		{"65KB", 65 * kb, 0},
+		{"129KB", 129 * kb, 0},
+		{"+0KB", 64 * kb, 0},
+		{"+1KB", 64 * kb, 1 * kb},
+		{"+10KB", 64 * kb, 10 * kb},
+	}
+}
+
+// fig4 reproduces Figures 4(a) and 4(b): mpi-io-test throughput with
+// stock vs iBridge for unaligned sizes and offsets, 64 processes. Reads
+// run warmed (the paper's read benefit relies on fragments cached by a
+// prior run; Section II-B).
+func fig4(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig4",
+		Title:   "mpi-io-test throughput (MB/s), 64 procs: stock vs iBridge",
+		Columns: []string{"case", "write stock", "write iBridge", "Δ", "read stock", "read iBridge", "Δ", "SSD frac"},
+	}
+	for _, cs := range fig4Cases() {
+		row := []string{cs.name}
+		var frac float64
+		for _, write := range []bool{true, false} {
+			warm := !write // reads are warmed
+			var vals [2]float64
+			for i, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
+				res, rep, err := mpiioRun(s, baseConfig(s, mode), workload.MPIIOTestConfig{
+					Procs: 64, RequestSize: cs.size, Shift: cs.shift,
+					Write: write, Warm: warm,
+				})
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = rep.ThroughputMBps()
+				if i == 1 && write {
+					frac = res.SSDFraction
+				}
+			}
+			row = append(row, mbps(vals[0]), mbps(vals[1]), stats.Speedup(vals[0], vals[1]))
+		}
+		row = append(row, fmt.Sprintf("%.0f%%", frac*100))
+		t.AddRow(row...)
+	}
+	t.Note("paper writes: +105%%/+183%%/+171%% for 33/65/129KB; SSD-served bytes 19%%/10%%/4%%")
+	t.Note("paper: at +0KB iBridge equals stock; with offsets iBridge changes little while stock collapses")
+	t.Note("expected shape: iBridge above stock in every unaligned case, equal at +0KB; SSD fraction falls as size grows")
+	return t, nil
+}
+
+// fig5 reproduces Figure 5: block-level request-size distribution of
+// 64 KB + 10 KB-offset reads when iBridge is enabled, with the SSD warmed
+// by a prior pass (compare fig2hist's case 2e).
+func fig5(s Scale) (*stats.Table, error) {
+	cfg := baseConfig(s, cluster.IBridge)
+	cfg.Trace = true
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var measured *struct{}
+	_ = measured
+	// Custom workload: warm pass, idle, collector reset, measured pass.
+	w := func(cl *cluster.Cluster, p *sim.Proc) {
+		f, err := cl.FS.Create("fig5", s.MPIIOBytes+16*kb)
+		if err != nil {
+			panic(err)
+		}
+		world := mpiio.NewWorld(cl.Engine, cl.Client(), f, 64)
+		iters := s.MPIIOBytes / (64 * 64 * kb)
+		rng := sim.NewRNG(3)
+		rngs := make([]*sim.RNG, 64)
+		for i := range rngs {
+			rngs[i] = rng.Fork()
+		}
+		pass := func(r *mpiio.Rank) {
+			for k := int64(0); k < iters; k++ {
+				r.Compute(rngs[r.ID].Duration(0, workload.DefaultJitter))
+				r.ReadAt(k*64*64*kb+int64(r.ID)*64*kb+10*kb, 64*kb)
+			}
+		}
+		done := world.Spawn("fig5", func(r *mpiio.Rank) {
+			pass(r) // warm
+			r.Barrier()
+			r.Compute(5 * sim.Second) // idle: staging happens
+			r.Barrier()
+			if r.ID == 0 {
+				for _, col := range cl.Collectors {
+					col.Reset()
+				}
+			}
+			r.Barrier()
+			pass(r) // measured
+		})
+		done.Wait(p)
+	}
+	res, err := c.Run(w)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		ID:      "fig5",
+		Title:   "block-level request sizes, 64KB+10KB reads WITH iBridge (warmed)",
+		Columns: []string{"bin", "sectors", "fraction"},
+	}
+	for i, sc := range res.Blocks.TopSizes(5) {
+		t.AddRow(fmt.Sprint(i+1), fmt.Sprint(sc.Sectors), fmt.Sprintf("%.1f%%", sc.Fraction*100))
+	}
+	t.AddRow("mean", fmt.Sprintf("%.0f", res.Blocks.MeanSectors()), "")
+	t.Note("paper: 128- and 256-sector requests predominate, in contrast to Figure 2(e)")
+	t.Note("expected shape: mean dispatch size well above the stock 2e case (fragments absorbed by SSD)")
+	return t, nil
+}
+
+// fig6 reproduces Figure 6: throughput scaling with process count for
+// 65 KB requests, stock vs iBridge, reads and writes.
+func fig6(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig6",
+		Title:   "65KB mpi-io-test throughput (MB/s) vs process count",
+		Columns: []string{"procs", "write stock", "write iBridge", "read stock", "read iBridge"},
+	}
+	for _, procs := range fig2procs(s) {
+		row := []string{fmt.Sprint(procs)}
+		for _, write := range []bool{true, false} {
+			for _, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
+				_, rep, err := mpiioRun(s, baseConfig(s, mode), workload.MPIIOTestConfig{
+					Procs: procs, RequestSize: 65 * kb, Write: write, Warm: !write,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, mbps(rep.ThroughputMBps()))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Note("paper: iBridge improves throughput by 154%% on average across process counts; ~10%% of data served by SSDs")
+	t.Note("expected shape: iBridge above stock at every process count for both directions")
+	return t, nil
+}
+
+// fig7 reproduces Figures 7(a)/(b): scaling with the number of data
+// servers, 64 processes: aligned 64 KB stock as the reference, 65 KB
+// stock, and 65 KB iBridge.
+func fig7(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "fig7",
+		Title:   "throughput (MB/s) vs data server count (64 procs)",
+		Columns: []string{"servers", "op", "64KB stock", "65KB stock", "65KB iBridge"},
+	}
+	for _, servers := range []int{2, 4, 6, 8} {
+		for _, write := range []bool{true, false} {
+			op := "read"
+			if write {
+				op = "write"
+			}
+			row := []string{fmt.Sprint(servers), op}
+			type cfgCase struct {
+				mode cluster.Mode
+				size int64
+			}
+			for _, cc := range []cfgCase{
+				{cluster.Stock, 64 * kb}, {cluster.Stock, 65 * kb}, {cluster.IBridge, 65 * kb},
+			} {
+				cfg := baseConfig(s, cc.mode)
+				cfg.Servers = servers
+				_, rep, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{
+					Procs: 64, RequestSize: cc.size, Write: write,
+					Warm: !write && cc.mode == cluster.IBridge,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, mbps(rep.ThroughputMBps()))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Note("paper: throughput grows with server count in all cases; the 64-vs-65KB stock gap grows with servers and iBridge nearly closes it")
+	t.Note("expected shape: every column increases with servers; iBridge column between the two stock columns, closer to aligned")
+	return t, nil
+}

@@ -1,0 +1,225 @@
+// Package hdd models a 7200-RPM hard disk drive with an explicit
+// seek-time curve, rotational latency, and sequential transfer bandwidth.
+//
+// The model is the one the paper's Eq. (1) assumes: the service time of a
+// request is D_to_T(seek distance) + R + size/B, where D_to_T is obtained
+// from an offline profile of the disk (here, a parametric square-root seek
+// curve, the standard fit for voice-coil actuators), R is rotational
+// latency, and B is the peak transfer bandwidth. Requests that continue
+// exactly where the head stopped pay no positioning cost, which is the
+// entire source of the sequential-vs-random efficiency gap that fragments
+// exploit.
+package hdd
+
+import (
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Spec holds the parameters of the disk model. The defaults are calibrated
+// so that the sequential rows of the paper's Table II hold (85 MB/s read,
+// 80 MB/s write) and random access is an order of magnitude slower, which
+// is the property all of the paper's figures depend on.
+type Spec struct {
+	// CapacityBytes is the size of the LBN space.
+	CapacityBytes int64
+	// SeqReadBW and SeqWriteBW are media transfer rates in bytes/second.
+	SeqReadBW  float64
+	SeqWriteBW float64
+	// MinSeek and MaxSeek bound the seek-time curve: a single-track seek
+	// costs MinSeek, a full-stroke seek costs MaxSeek, and intermediate
+	// distances follow MinSeek + (MaxSeek-MinSeek)*sqrt(d/D).
+	MinSeek sim.Duration
+	MaxSeek sim.Duration
+	// RotationPeriod is one platter revolution (8.33 ms at 7200 RPM).
+	// Each repositioned request pays a uniformly distributed rotational
+	// latency in [0, RotationPeriod).
+	RotationPeriod sim.Duration
+	// WriteSettle is the extra head-settle penalty a write pays after
+	// repositioning (writes need tighter positioning than reads), which
+	// produces the paper's rand-write ≪ rand-read gap.
+	WriteSettle sim.Duration
+	// NearSectors is the distance, in sectors, under which a
+	// reposition counts as a short head move costing MinSeek only.
+	NearSectors int64
+}
+
+// forwardSkip returns the cost of letting the platter rotate forward past
+// dist sectors (read-through at media rate): a short forward hop costs
+// only the angular wait for the skipped sectors to pass under the head.
+func (s Spec) forwardSkip(dist int64) sim.Duration {
+	return sim.Duration(float64(dist*device.SectorSize) / s.SeqReadBW * float64(sim.Second))
+}
+
+// DefaultSpec returns the model of the evaluation platform's HP 7200-RPM
+// drive (Table II).
+func DefaultSpec() Spec {
+	return Spec{
+		CapacityBytes:  1 << 40, // 1 TB
+		SeqReadBW:      85e6,
+		SeqWriteBW:     80e6,
+		MinSeek:        500 * sim.Microsecond,
+		MaxSeek:        9 * sim.Millisecond,
+		RotationPeriod: 8333 * sim.Microsecond, // 7200 RPM
+		WriteSettle:    1200 * sim.Microsecond,
+		NearSectors:    16, // 8 KB: longer hops miss the rotation
+	}
+}
+
+// Disk is a simulated hard disk. The medium serves one request at a time;
+// concurrent callers queue FIFO at the medium (request reordering is the
+// job of the I/O scheduler in internal/iosched).
+type Disk struct {
+	e    *sim.Engine
+	spec Spec
+	name string
+	mu   *sim.Semaphore
+	rng  *sim.RNG
+	head int64 // sector after the last one accessed
+
+	stats     device.Stats
+	idleSince sim.Time
+	inFlight  int
+}
+
+// New returns a disk with the given spec. The rng seeds the rotational
+// latency draws; the same seed reproduces the same run exactly.
+func New(e *sim.Engine, name string, spec Spec, rng *sim.RNG) *Disk {
+	return &Disk{
+		e:    e,
+		spec: spec,
+		name: name,
+		mu:   sim.NewSemaphore(e, 1),
+		rng:  rng,
+	}
+}
+
+// Name implements device.Device.
+func (d *Disk) Name() string { return d.name }
+
+// Spec returns the disk's model parameters.
+func (d *Disk) Spec() Spec { return d.spec }
+
+// Stats implements device.Device.
+func (d *Disk) Stats() *device.Stats { return &d.stats }
+
+// Capacity implements device.Device.
+func (d *Disk) Capacity() int64 { return d.spec.CapacityBytes }
+
+// Head returns the current head position (sector after the last access).
+func (d *Disk) Head() int64 { return d.head }
+
+// IdleSince implements device.Device.
+func (d *Disk) IdleSince() sim.Time {
+	if d.inFlight > 0 {
+		return d.e.Now()
+	}
+	return d.idleSince
+}
+
+// SeekTime is the paper's D_to_T function: it converts a seek distance in
+// sectors to a seek time using the square-root curve of the spec.
+func (d *Disk) SeekTime(distance int64) sim.Duration {
+	if distance < 0 {
+		distance = -distance
+	}
+	if distance == 0 {
+		return 0
+	}
+	if distance <= d.spec.NearSectors {
+		return d.spec.MinSeek
+	}
+	maxDist := float64(d.spec.CapacityBytes / device.SectorSize)
+	frac := math.Sqrt(float64(distance) / maxDist)
+	return d.spec.MinSeek + sim.Duration(frac*float64(d.spec.MaxSeek-d.spec.MinSeek))
+}
+
+// AvgRotation returns the expected rotational latency R of Eq. (1): half a
+// revolution.
+func (d *Disk) AvgRotation() sim.Duration { return d.spec.RotationPeriod / 2 }
+
+// TransferTime returns size/B for the given operation.
+func (d *Disk) TransferTime(bytes int64, op device.Op) sim.Duration {
+	bw := d.spec.SeqReadBW
+	if op == device.Write {
+		bw = d.spec.SeqWriteBW
+	}
+	return sim.Duration(float64(bytes) / bw * float64(sim.Second))
+}
+
+// positionCost returns the positioning time from prev to r, using rot for
+// the rotational component (a drawn or average value). A forward hop may
+// be served by letting the platter rotate past the skipped sectors
+// (read-through at media rate) when that beats a seek; a backward hop
+// always seeks and pays the rotational miss.
+func (d *Disk) positionCost(prev int64, r device.Request, rot sim.Duration) sim.Duration {
+	dist := r.LBN - prev
+	if dist == 0 {
+		return 0
+	}
+	forward := dist > 0
+	if dist < 0 {
+		dist = -dist
+	}
+	cost := d.SeekTime(dist)
+	if dist > d.spec.NearSectors {
+		cost += rot
+		if r.Op == device.Write {
+			cost += d.spec.WriteSettle
+		}
+	}
+	if forward {
+		if skip := d.spec.forwardSkip(dist); skip < cost {
+			return skip
+		}
+	}
+	return cost
+}
+
+// EstimateService implements device.Device: the service time r would see
+// if dispatched now, using the average rotational latency (this is exactly
+// the Eq. (1) sample D_to_T(Δλ) + R + size/B).
+func (d *Disk) EstimateService(r device.Request) sim.Duration {
+	return d.positionCost(d.head, r, d.AvgRotation()) + d.TransferTime(r.Bytes(), r.Op)
+}
+
+// EstimateFrom is EstimateService with an explicit previous location,
+// used by the iBridge return model which tracks its own λ_{i-1} that may
+// differ from the physical head position.
+func (d *Disk) EstimateFrom(prevLBN int64, r device.Request) sim.Duration {
+	return d.positionCost(prevLBN, r, d.AvgRotation()) + d.TransferTime(r.Bytes(), r.Op)
+}
+
+// Serve implements device.Device. It blocks p for the full positioning and
+// transfer time of r and moves the head.
+func (d *Disk) Serve(p *sim.Proc, r device.Request) sim.Duration {
+	if r.Sectors <= 0 {
+		return 0
+	}
+	d.inFlight++
+	d.mu.Acquire(p)
+	rot := d.rng.Duration(0, d.spec.RotationPeriod)
+	pos := d.positionCost(d.head, r, rot)
+	xfer := d.TransferTime(r.Bytes(), r.Op)
+	t := pos + xfer
+	p.Sleep(t)
+
+	d.head = r.End()
+	d.stats.Ops[r.Op]++
+	d.stats.Bytes[r.Op] += r.Bytes()
+	d.stats.BusyTime += t
+	if pos > 0 {
+		d.stats.SeekTime += pos
+		d.stats.Seeks++
+	} else {
+		d.stats.SeqOps[r.Op]++
+	}
+	d.inFlight--
+	if d.inFlight == 0 {
+		d.idleSince = p.Now()
+	}
+	d.mu.Release()
+	return t
+}

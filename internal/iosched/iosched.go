@@ -1,0 +1,412 @@
+// Package iosched implements the block-layer I/O schedulers that sit
+// between a data server's storage stack and its device, mirroring the
+// paper's evaluation setup (CFQ for the hard disk, Noop for the SSD).
+//
+// The scheduler queues concurrently submitted requests, merges physically
+// contiguous ones (the mechanism behind the 128 KB peaks in the paper's
+// Figure 2(c) block-size distribution), and dispatches in either
+// shortest-positioning-time-first order (modelling the elevator plus NCQ
+// reordering) or FIFO order (Noop). Dispatch is work-conserving: a drain
+// process runs whenever requests are pending and exits when the queue
+// empties, so merging opportunities arise exactly when the device is the
+// bottleneck — the same dynamics as the Linux block layer.
+package iosched
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Policy selects the dispatch order.
+type Policy uint8
+
+const (
+	// SPTF dispatches the pending request with the shortest positioning
+	// distance from the last dispatched request (elevator + NCQ model).
+	SPTF Policy = iota
+	// FIFO dispatches in arrival order (the Noop scheduler); used for
+	// SSDs, whose service time does not depend on order.
+	FIFO
+	// CFQ models the Linux Completely Fair Queueing scheduler the
+	// paper uses for hard disks: requests are grouped by origin
+	// (process); the disk serves one origin's queue in LBN order for a
+	// bounded slice and idles briefly at the end of a slice
+	// anticipating the origin's next request before switching. The
+	// idle windows bound aligned streaming throughput, and every
+	// origin whose pattern does not continue locally — a fragment of a
+	// striped parent, most of all — pays a whole positioning + slice
+	// overhead for however little data it moves.
+	CFQ
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SPTF:
+		return "sptf"
+	case FIFO:
+		return "fifo"
+	default:
+		return "cfq"
+	}
+}
+
+// Tracer observes dispatched block-level requests; implemented by
+// blktrace.Collector. A nil Tracer disables tracing.
+type Tracer interface {
+	Dispatch(now sim.Time, r device.Request)
+}
+
+// Config tunes a scheduler queue.
+type Config struct {
+	Policy Policy
+	// Merge enables front- and back-merging of contiguous requests.
+	Merge bool
+	// MaxSectors caps the size a merged request may reach, like the
+	// block layer's max_sectors_kb. 256 sectors = 128 KB, the largest
+	// request size visible in the paper's Figure 2(c).
+	MaxSectors int64
+	// Window bounds how many of the oldest pending requests the
+	// dispatcher considers when picking (the block layer's bounded
+	// request pool and plug batching): a request cannot be passed over
+	// indefinitely by younger, better-placed arrivals. 0 means
+	// unbounded. Applies to the SPTF policy.
+	Window int
+	// SliceIdle is the CFQ anticipation window: after draining an
+	// origin's queue the dispatcher waits this long for the origin to
+	// continue before switching (Linux cfq's slice_idle).
+	SliceIdle sim.Duration
+	// SliceQuantum bounds dispatches per slice before the scheduler
+	// switches origins even if the active origin has more work.
+	SliceQuantum int
+}
+
+// DiskDefaults returns the configuration used for hard disks in the
+// paper's evaluation: CFQ with merging.
+func DiskDefaults() Config {
+	return Config{
+		Policy:       CFQ,
+		Merge:        true,
+		MaxSectors:   256,
+		SliceIdle:    2 * sim.Millisecond,
+		SliceQuantum: 16,
+	}
+}
+
+// SSDDefaults returns the configuration used for SSDs (Noop: merging,
+// FIFO dispatch).
+func SSDDefaults() Config {
+	return Config{Policy: FIFO, Merge: true, MaxSectors: 256}
+}
+
+// Stats accumulates scheduler statistics.
+type Stats struct {
+	Submitted   int64
+	BackMerges  int64
+	FrontMerges int64
+	Dispatches  int64
+	// DepthSum accumulates the pending-queue length at each dispatch;
+	// DepthSum/Dispatches is the average queue depth.
+	DepthSum int64
+	// WaitTime accumulates submit-to-completion latency over all
+	// submitted requests.
+	WaitTime sim.Duration
+}
+
+// AvgDepth returns the average pending-queue depth seen at dispatch.
+func (s *Stats) AvgDepth() float64 {
+	if s.Dispatches == 0 {
+		return 0
+	}
+	return float64(s.DepthSum) / float64(s.Dispatches)
+}
+
+// AvgWait returns the average submit-to-completion latency.
+func (s *Stats) AvgWait() sim.Duration {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return s.WaitTime / sim.Duration(s.Submitted)
+}
+
+// unit is one queued block request, possibly the merge of several
+// submitted requests; every submitter parks on the unit until it is
+// served.
+type unit struct {
+	req     device.Request
+	waiters []*sim.Proc
+	done    bool
+	seq     uint64 // arrival order, for FIFO dispatch and fairness
+	origin  int32  // issuing process context, for CFQ grouping
+}
+
+// Queue is a scheduler instance bound to one device.
+type Queue struct {
+	e        *sim.Engine
+	dev      device.Device
+	cfg      Config
+	tracer   Tracer
+	pending  []*unit // sorted by LBN
+	draining bool
+	pos      int64  // LBN after the last dispatched request
+	seq      uint64 // arrival sequence for FIFO dispatch
+	// CFQ slice state.
+	active     int32
+	sliceCount int
+	idled      bool
+	stats      Stats
+}
+
+// New returns a scheduler queue feeding dev.
+func New(e *sim.Engine, dev device.Device, cfg Config, tracer Tracer) *Queue {
+	if cfg.MaxSectors <= 0 {
+		cfg.MaxSectors = 256
+	}
+	return &Queue{e: e, dev: dev, cfg: cfg, tracer: tracer}
+}
+
+// Stats returns accumulated scheduler statistics.
+func (q *Queue) Stats() *Stats { return &q.stats }
+
+// Device returns the device this queue feeds.
+func (q *Queue) Device() device.Device { return q.dev }
+
+// Pending returns the number of queued (not yet dispatched) requests.
+func (q *Queue) Pending() int { return len(q.pending) }
+
+// Submit enqueues r and blocks p until the request (or the merged request
+// containing it) has been served. It returns the submit-to-completion
+// latency.
+func (q *Queue) Submit(p *sim.Proc, r device.Request) sim.Duration {
+	if r.Sectors <= 0 {
+		return 0
+	}
+	start := p.Now()
+	q.stats.Submitted++
+	u := q.place(r)
+	u.waiters = append(u.waiters, p)
+	if !q.draining {
+		q.draining = true
+		q.e.Go("iosched:"+q.dev.Name(), q.drain)
+	}
+	p.Block()
+	lat := p.Now().Sub(start)
+	q.stats.WaitTime += lat
+	return lat
+}
+
+// place merges r into a pending unit if possible, otherwise inserts a new
+// unit in LBN order, and returns the unit carrying r.
+func (q *Queue) place(r device.Request) *unit {
+	if q.cfg.Merge {
+		for _, u := range q.pending {
+			if u.req.Sectors+r.Sectors > q.cfg.MaxSectors {
+				continue
+			}
+			if u.req.Contiguous(r) { // back merge: r extends u
+				u.req.Sectors += r.Sectors
+				q.stats.BackMerges++
+				return u
+			}
+			if r.Contiguous(u.req) { // front merge: r precedes u
+				u.req.LBN = r.LBN
+				u.req.Sectors += r.Sectors
+				q.stats.FrontMerges++
+				return u
+			}
+		}
+	}
+	q.seq++
+	u := &unit{req: r, seq: q.seq, origin: r.Origin}
+	// Insert in LBN order (stable for equal LBNs: after existing ones,
+	// preserving arrival order for FIFO fairness at the same location).
+	i := len(q.pending)
+	for j, v := range q.pending {
+		if v.req.LBN > r.LBN {
+			i = j
+			break
+		}
+	}
+	q.pending = append(q.pending, nil)
+	copy(q.pending[i+1:], q.pending[i:])
+	q.pending[i] = u
+	return u
+}
+
+// inWindow reports whether pending index i is among the cfg.Window oldest
+// pending units (by arrival sequence).
+func (q *Queue) inWindow(i int) bool {
+	w := q.cfg.Window
+	if w <= 0 || len(q.pending) <= w {
+		return true
+	}
+	older := 0
+	seq := q.pending[i].seq
+	for _, u := range q.pending {
+		if u.seq < seq {
+			older++
+			if older >= w {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pick selects and removes the next unit to dispatch.
+func (q *Queue) pick() *unit {
+	best := -1
+	if q.cfg.Policy == SPTF {
+		// One-way elevator (C-LOOK) over the dispatch window: the
+		// nearest windowed request at or ahead of the head position;
+		// wrap to the lowest LBN when nothing lies ahead. Forward hops
+		// are cheap on disk (the platter rotates past them), so
+		// ascending order dominates.
+		bestAhead := -1
+		for i, u := range q.pending {
+			if !q.inWindow(i) {
+				continue
+			}
+			if u.req.LBN >= q.pos {
+				if bestAhead < 0 || u.req.LBN < q.pending[bestAhead].req.LBN {
+					bestAhead = i
+				}
+				continue
+			}
+			if best < 0 || u.req.LBN < q.pending[best].req.LBN {
+				best = i
+			}
+		}
+		if bestAhead >= 0 {
+			best = bestAhead
+		}
+	}
+	// FIFO: pending is LBN-sorted, so dispatch the oldest by arrival
+	// sequence.
+	if q.cfg.Policy == FIFO {
+		best = 0
+		for i, u := range q.pending {
+			if u.seq < q.pending[best].seq {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	u := q.pending[best]
+	q.pending = append(q.pending[:best], q.pending[best+1:]...)
+	return u
+}
+
+// drain dispatches pending requests until the queue empties, then exits.
+func (q *Queue) drain(p *sim.Proc) {
+	for {
+		var u *unit
+		if q.cfg.Policy == CFQ {
+			u = q.selectCFQ(p)
+		} else if len(q.pending) > 0 {
+			u = q.pick()
+		}
+		if u == nil {
+			q.draining = false
+			return
+		}
+		q.stats.DepthSum += int64(len(q.pending) + 1)
+		q.stats.Dispatches++
+		if q.tracer != nil {
+			q.tracer.Dispatch(p.Now(), u.req)
+		}
+		q.dev.Serve(p, u.req)
+		q.pos = u.req.End()
+		u.done = true
+		for _, w := range u.waiters {
+			q.e.Wake(w)
+		}
+		u.waiters = nil
+	}
+}
+
+// selectCFQ removes and returns the next unit under the CFQ policy,
+// possibly idling in anticipation; it returns nil when the queue is empty
+// and the drain process should exit.
+func (q *Queue) selectCFQ(p *sim.Proc) *unit {
+	for {
+		if len(q.pending) == 0 {
+			return nil
+		}
+		// Look for the active origin's next unit: C-LOOK within the
+		// origin's queue (nearest at or ahead of the head, else its
+		// lowest LBN).
+		best, bestAhead := -1, -1
+		for i, u := range q.pending {
+			if u.origin != q.active {
+				continue
+			}
+			if u.req.LBN >= q.pos {
+				if bestAhead < 0 || u.req.LBN < q.pending[bestAhead].req.LBN {
+					bestAhead = i
+				}
+				continue
+			}
+			if best < 0 || u.req.LBN < q.pending[best].req.LBN {
+				best = i
+			}
+		}
+		if bestAhead >= 0 {
+			best = bestAhead
+		}
+		if best >= 0 && q.sliceCount < q.cfg.SliceQuantum {
+			q.sliceCount++
+			u := q.pending[best]
+			q.pending = append(q.pending[:best], q.pending[best+1:]...)
+			return u
+		}
+		if best < 0 && !q.idled && q.cfg.SliceIdle > 0 {
+			// End of the active origin's queue: anticipate its next
+			// request before giving the disk away (cfq slice_idle).
+			// Poll in sub-window steps so an early arrival is picked
+			// up promptly.
+			q.idled = true
+			step := q.cfg.SliceIdle / 8
+			if step <= 0 {
+				step = q.cfg.SliceIdle
+			}
+			for waited := sim.Duration(0); waited < q.cfg.SliceIdle; waited += step {
+				p.Sleep(step)
+				if q.hasPending(q.active) {
+					break
+				}
+			}
+			continue
+		}
+		// Slice over: rotate to the origin that has waited longest,
+		// preferring a *different* origin (round-robin fairness); if
+		// only the active origin has work, its slice restarts.
+		oldest, oldestOther := -1, -1
+		for i, u := range q.pending {
+			if oldest < 0 || u.seq < q.pending[oldest].seq {
+				oldest = i
+			}
+			if u.origin != q.active && (oldestOther < 0 || u.seq < q.pending[oldestOther].seq) {
+				oldestOther = i
+			}
+		}
+		pick := oldest
+		if oldestOther >= 0 {
+			pick = oldestOther
+		}
+		q.active = q.pending[pick].origin
+		q.sliceCount = 0
+		q.idled = false
+	}
+}
+
+// hasPending reports whether any pending unit belongs to origin.
+func (q *Queue) hasPending(origin int32) bool {
+	for _, u := range q.pending {
+		if u.origin == origin {
+			return true
+		}
+	}
+	return false
+}

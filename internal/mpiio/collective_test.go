@@ -1,0 +1,213 @@
+package mpiio
+
+import (
+	"testing"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// collectiveWorld builds a world with access to the FS stats for
+// verifying what reached the servers.
+func collectiveWorld(t *testing.T, e *sim.Engine, ranks int) (*World, *pfs.FileSystem) {
+	return testWorld(t, e, ranks)
+}
+
+func TestCollectiveWriteAggregatesAligned(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 4)
+	col := NewCollective(w, DefaultCollective())
+	const unit = 64 * 1024
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("col", func(r *Rank) {
+			// Each rank contributes 4 small strided pieces; together
+			// they tile [0, 16*4KB*4) sparsely... use contiguous tiling:
+			// rank i piece j at (j*4 + i) * 4KB.
+			var pieces []Piece
+			for j := 0; j < 4; j++ {
+				pieces = append(pieces, Piece{Off: int64(j*4+r.ID) * 4096, Len: 4096})
+			}
+			col.Write(r, pieces)
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := fs.Stats()
+	// 16 pieces of 4KB tile [0, 64KB): one aligned 64KB aggregated
+	// write from one aggregator.
+	if st.Requests != 1 {
+		t.Fatalf("aggregated requests = %d, want 1", st.Requests)
+	}
+	if st.Fragments != 0 {
+		t.Fatalf("collective write produced %d fragments", st.Fragments)
+	}
+	if st.TotalBytes() != unit {
+		t.Fatalf("aggregated bytes = %d, want %d", st.TotalBytes(), unit)
+	}
+}
+
+func TestCollectiveReadCoversPieces(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 4)
+	col := NewCollective(w, DefaultCollective())
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("col", func(r *Rank) {
+			col.Read(r, []Piece{{Off: int64(r.ID) * 100 * 1024, Len: 8 * 1024}})
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := fs.Stats()
+	// Four scattered 8KB pieces → four aligned 64KB domain reads.
+	if st.Requests == 0 {
+		t.Fatal("no aggregated reads issued")
+	}
+	if st.TotalBytes() < 4*8*1024 {
+		t.Fatalf("aggregated reads cover %d bytes, less than the pieces", st.TotalBytes())
+	}
+	for _, s := range []int64{st.TotalBytes()} {
+		if s%(64*1024) != 0 {
+			t.Fatalf("aggregated read bytes %d not unit-aligned", s)
+		}
+	}
+}
+
+func TestCollectiveReusable(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 2)
+	col := NewCollective(w, DefaultCollective())
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("col", func(r *Rank) {
+			for round := 0; round < 3; round++ {
+				off := int64(round)*1<<20 + int64(r.ID)*32*1024
+				col.Write(r, []Piece{{Off: off, Len: 32 * 1024}})
+			}
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fs.Stats().Requests != 3 {
+		t.Fatalf("requests = %d, want 3 (one aggregated write per round)", fs.Stats().Requests)
+	}
+}
+
+func TestCollectiveExchangeCostsTime(t *testing.T) {
+	run := func(bw float64) sim.Duration {
+		e := sim.New()
+		w, _ := collectiveWorld(t, e, 4)
+		cfg := DefaultCollective()
+		cfg.ExchangeBW = bw
+		col := NewCollective(w, cfg)
+		var elapsed sim.Duration
+		e.Go("driver", func(p *sim.Proc) {
+			done := w.Spawn("col", func(r *Rank) {
+				col.Write(r, []Piece{{Off: int64(r.ID) * 16 * 1024, Len: 16 * 1024}})
+			})
+			done.Wait(p)
+			elapsed = sim.Duration(p.Now())
+			e.Halt()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return elapsed
+	}
+	fast, slow := run(3.2e9), run(1e6)
+	if slow <= fast {
+		t.Fatalf("slow exchange (%v) not slower than fast (%v)", slow, fast)
+	}
+}
+
+func TestSieveRead(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 1)
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("sieve", func(r *Rank) {
+			// Four 2KB pieces 14KB apart: one covering read.
+			var pieces []Piece
+			for j := 0; j < 4; j++ {
+				pieces = append(pieces, Piece{Off: int64(j) * 16 * 1024, Len: 2 * 1024})
+			}
+			moved := Sieve(r, pieces, false, SieveConfig{MaxHole: 64 * 1024})
+			want := int64(3*16*1024 + 2*1024)
+			if moved != want {
+				t.Errorf("sieve moved %d bytes, want %d", moved, want)
+			}
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fs.Stats().Requests != 1 {
+		t.Fatalf("requests = %d, want 1 covering read", fs.Stats().Requests)
+	}
+}
+
+func TestSieveWriteIsReadModifyWrite(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 1)
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("sieve", func(r *Rank) {
+			pieces := []Piece{{Off: 0, Len: 1024}, {Off: 8192, Len: 1024}}
+			Sieve(r, pieces, true, SieveConfig{MaxHole: 64 * 1024})
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fs.Stats().Requests != 2 {
+		t.Fatalf("requests = %d, want 2 (read + write of the cover)", fs.Stats().Requests)
+	}
+}
+
+func TestSieveRespectsMaxHole(t *testing.T) {
+	e := sim.New()
+	w, fs := collectiveWorld(t, e, 1)
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("sieve", func(r *Rank) {
+			pieces := []Piece{{Off: 0, Len: 1024}, {Off: 10 << 20, Len: 1024}}
+			Sieve(r, pieces, false, SieveConfig{MaxHole: 4096})
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fs.Stats().Requests != 2 {
+		t.Fatalf("requests = %d, want 2 separate extents", fs.Stats().Requests)
+	}
+	if fs.Stats().TotalBytes() != 2048 {
+		t.Fatalf("moved %d bytes, want 2048 (no hole read)", fs.Stats().TotalBytes())
+	}
+}
+
+func TestSieveEmpty(t *testing.T) {
+	e := sim.New()
+	w, _ := collectiveWorld(t, e, 1)
+	e.Go("driver", func(p *sim.Proc) {
+		done := w.Spawn("sieve", func(r *Rank) {
+			if moved := Sieve(r, nil, false, SieveConfig{}); moved != 0 {
+				t.Errorf("empty sieve moved %d", moved)
+			}
+		})
+		done.Wait(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,247 @@
+package pfs
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/hdd"
+	"repro/internal/iosched"
+	"repro/internal/sim"
+	"repro/internal/stripe"
+)
+
+// testFS builds a stock file system over nServers disk stores and
+// returns it with the underlying disks.
+func testFS(t *testing.T, e *sim.Engine, nServers int) (*FileSystem, []*hdd.Disk) {
+	t.Helper()
+	rng := sim.NewRNG(99)
+	disks := make([]*hdd.Disk, nServers)
+	stores := make([]Store, nServers)
+	for i := range stores {
+		disks[i] = hdd.New(e, "hdd", hdd.DefaultSpec(), rng.Fork())
+		stores[i] = NewDiskStore(iosched.New(e, disks[i], iosched.DiskDefaults(), nil))
+	}
+	fs, err := NewFileSystem(e, Config{
+		Layout: stripe.Layout{Unit: 64 * 1024, Servers: nServers},
+	}, stores)
+	if err != nil {
+		t.Fatalf("NewFileSystem: %v", err)
+	}
+	return fs, disks
+}
+
+// run executes fn as a simulated process and halts the engine when it
+// returns.
+func run(t *testing.T, e *sim.Engine, fn func(p *sim.Proc)) {
+	t.Helper()
+	e.Go("test-main", func(p *sim.Proc) {
+		fn(p)
+		e.Halt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestCreateAndOpen(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 4)
+	f, err := fs.Create("data", 1<<20)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := fs.Open("data")
+	if err != nil || got != f {
+		t.Fatalf("Open: %v, %v", got, err)
+	}
+	if _, err := fs.Create("data", 1<<20); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+	if _, err := fs.Create("empty", 0); err == nil {
+		t.Fatal("zero-size create accepted")
+	}
+	run(t, e, func(p *sim.Proc) {})
+}
+
+func TestAlignedRequestSingleServer(t *testing.T) {
+	e := sim.New()
+	fs, disks := testFS(t, e, 4)
+	f, _ := fs.Create("data", 10<<20)
+	c := NewClient(fs)
+	run(t, e, func(p *sim.Proc) {
+		c.Read(p, f, 0, 64*1024)
+	})
+	// Only server 0 should have seen I/O.
+	if disks[0].Stats().TotalOps() == 0 {
+		t.Fatal("server 0 idle")
+	}
+	for i := 1; i < 4; i++ {
+		if disks[i].Stats().TotalOps() != 0 {
+			t.Fatalf("server %d served %d ops for an aligned single-unit request", i, disks[i].Stats().TotalOps())
+		}
+	}
+	if fs.Stats().SubCount != 1 {
+		t.Fatalf("SubCount = %d, want 1", fs.Stats().SubCount)
+	}
+}
+
+func TestUnalignedRequestTwoServers(t *testing.T) {
+	e := sim.New()
+	fs, disks := testFS(t, e, 4)
+	f, _ := fs.Create("data", 10<<20)
+	c := NewClient(fs)
+	run(t, e, func(p *sim.Proc) {
+		c.Read(p, f, 0, 65*1024)
+	})
+	if disks[0].Stats().TotalOps() == 0 || disks[1].Stats().TotalOps() == 0 {
+		t.Fatal("65KB request did not touch servers 0 and 1")
+	}
+	if fs.Stats().SubCount != 2 {
+		t.Fatalf("SubCount = %d, want 2", fs.Stats().SubCount)
+	}
+}
+
+func TestFragmentFlaggingOnlyWithIBridgeClient(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 4)
+	f, _ := fs.Create("data", 10<<20)
+	stock := NewClient(fs)
+	ib := NewIBridgeClient(fs, 20*1024, 20*1024)
+	run(t, e, func(p *sim.Proc) {
+		stock.Read(p, f, 0, 65*1024)
+		if fs.Stats().Fragments != 0 {
+			t.Errorf("stock client flagged %d fragments", fs.Stats().Fragments)
+		}
+		ib.Read(p, f, 0, 65*1024)
+		if fs.Stats().Fragments != 1 {
+			t.Errorf("iBridge client flagged %d fragments, want 1", fs.Stats().Fragments)
+		}
+	})
+}
+
+func TestRequestServiceTimeAccounting(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 2)
+	f, _ := fs.Create("data", 10<<20)
+	c := NewClient(fs)
+	var lat sim.Duration
+	run(t, e, func(p *sim.Proc) {
+		lat = c.Write(p, f, 0, 128*1024)
+	})
+	if lat <= 0 {
+		t.Fatal("no latency")
+	}
+	st := fs.Stats()
+	if st.Requests != 1 || st.Latency != lat {
+		t.Fatalf("stats = %+v, lat = %v", st, lat)
+	}
+	if st.Bytes[device.Write] != 128*1024 {
+		t.Fatalf("write bytes = %d", st.Bytes[device.Write])
+	}
+	if st.AvgServiceTime() != lat {
+		t.Fatalf("AvgServiceTime = %v, want %v", st.AvgServiceTime(), lat)
+	}
+}
+
+func TestSubRequestsRunConcurrently(t *testing.T) {
+	// A request striped over k servers should complete in roughly the
+	// time of one sub-request, not k of them.
+	single := measureRequest(t, 1, 64*1024)
+	striped := measureRequest(t, 8, 8*64*1024)
+	if striped > 3*single {
+		t.Fatalf("8-server striped request took %v vs single-unit %v; not concurrent", striped, single)
+	}
+}
+
+func measureRequest(t *testing.T, servers int, size int64) sim.Duration {
+	t.Helper()
+	e := sim.New()
+	fs, _ := testFS(t, e, servers)
+	f, _ := fs.Create("data", 100<<20)
+	c := NewClient(fs)
+	var lat sim.Duration
+	run(t, e, func(p *sim.Proc) {
+		lat = c.Read(p, f, 0, size)
+	})
+	return lat
+}
+
+func TestOutOfRangeRequestPanics(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 2)
+	f, _ := fs.Create("data", 1<<20)
+	c := NewClient(fs)
+	panicked := false
+	e.Go("main", func(p *sim.Proc) {
+		defer func() {
+			panicked = recover() != nil
+			e.Halt()
+		}()
+		c.Read(p, f, 1<<20-10, 100)
+	})
+	e.Run()
+	if !panicked {
+		t.Fatal("out-of-range request did not panic")
+	}
+}
+
+func TestZeroLengthRequestFree(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 2)
+	f, _ := fs.Create("data", 1<<20)
+	c := NewClient(fs)
+	run(t, e, func(p *sim.Proc) {
+		if lat := c.Read(p, f, 0, 0); lat != 0 {
+			t.Errorf("zero-length read latency %v", lat)
+		}
+	})
+	if fs.Stats().Requests != 0 {
+		t.Fatal("zero-length request counted")
+	}
+}
+
+func TestDistinctFilesGetDistinctExtents(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 2)
+	a, _ := fs.Create("a", 10<<20)
+	b, _ := fs.Create("b", 10<<20)
+	for s := 0; s < 2; s++ {
+		if a.bases[s] == b.bases[s] {
+			t.Fatalf("files share base LBN on server %d", s)
+		}
+	}
+	run(t, e, func(p *sim.Proc) {})
+}
+
+func TestSectorRoundingForTinyRequests(t *testing.T) {
+	// BTIO-style 2160-byte requests are not sector-aligned; the block
+	// request must cover the byte extent.
+	e := sim.New()
+	fs, disks := testFS(t, e, 1)
+	f, _ := fs.Create("data", 1<<20)
+	c := NewClient(fs)
+	run(t, e, func(p *sim.Proc) {
+		c.Write(p, f, 1000, 2160) // bytes [1000, 3160) → sectors [1, 7)
+	})
+	st := disks[0].Stats()
+	if st.Bytes[device.Write] != 6*device.SectorSize {
+		t.Fatalf("device wrote %d bytes, want %d", st.Bytes[device.Write], 6*device.SectorSize)
+	}
+}
+
+func TestFlushIsNoOpOnStockStores(t *testing.T) {
+	e := sim.New()
+	fs, _ := testFS(t, e, 4)
+	var took sim.Duration
+	run(t, e, func(p *sim.Proc) {
+		start := p.Now()
+		fs.Flush(p)
+		took = p.Now().Sub(start)
+	})
+	if took != 0 {
+		t.Fatalf("stock flush took %v", took)
+	}
+}

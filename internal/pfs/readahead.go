@@ -1,0 +1,133 @@
+package pfs
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// ReadaheadStore wraps a Store with kernel-style sequential readahead:
+// when the reads against a server-local file object advance monotonically
+// (allowing small holes), each read is extended to an aligned window, so
+// the disk sees large sequential requests even when the application's
+// pieces are small or hole-y. Detection is per file object, matching the
+// server reality the model stands in for: PVFS2's Trove reads each
+// bstream through one shared descriptor, so the kernel's readahead sees
+// the *interleaved* stream of all clients — which for striped sequential
+// workloads is near-sequential even though each individual rank hops
+// between servers. This is the OS layer whose behaviour the paper's
+// Figure 5 reflects (128/256-sector dispatches with iBridge): once the
+// fragments are served elsewhere, readahead rounds the remaining piece
+// stream back into full windows.
+//
+// Readahead is a read-side mechanism; writes pass through unchanged.
+type ReadaheadStore struct {
+	inner Store
+	// Window is the readahead window in bytes (128 KB, the Linux
+	// default for the paper's era).
+	Window int64
+	// MaxStreams bounds the per-origin stream-tracking table.
+	MaxStreams int
+
+	streams map[int]*raStream
+	order   []int
+	stats   ReadaheadStats
+}
+
+// ReadaheadStats counts the wrapper's behaviour.
+type ReadaheadStats struct {
+	Reads          int64
+	Extended       int64 // reads grown to a window
+	ExtraBytes     int64 // bytes read beyond what was asked
+	SequentialHits int64 // reads detected as stream continuations
+	CacheHits      int64 // reads fully covered by prior readahead
+}
+
+type raStream struct {
+	nextLBN        int64 // expected next read position
+	streak         int   // consecutive sequential detections
+	covFrom, covTo int64 // region already read ahead ("page cache")
+}
+
+// NewReadaheadStore wraps inner with a 128 KB readahead window.
+func NewReadaheadStore(inner Store) *ReadaheadStore {
+	return &ReadaheadStore{
+		inner:      inner,
+		Window:     128 * 1024,
+		MaxStreams: 256,
+		streams:    make(map[int]*raStream),
+	}
+}
+
+// Stats returns the wrapper's counters.
+func (s *ReadaheadStore) Stats() *ReadaheadStats { return &s.stats }
+
+// Serve implements Store.
+func (s *ReadaheadStore) Serve(p *sim.Proc, r *IORequest) {
+	if r.Op != device.Read {
+		s.inner.Serve(p, r)
+		return
+	}
+	s.stats.Reads++
+	st := s.stream(r.FileID)
+	winSectors := s.Window / device.SectorSize
+	// Fully covered by a prior readahead: a page-cache hit, no device
+	// I/O at all — the whole point of reading ahead.
+	if r.LBN >= st.covFrom && r.LBN+r.Sectors <= st.covTo {
+		s.stats.CacheHits++
+		s.stats.SequentialHits++
+		st.streak++
+		if end := r.LBN + r.Sectors; end > st.nextLBN {
+			st.nextLBN = end
+		}
+		return
+	}
+	// Sequential-ish: the read starts at or slightly past the expected
+	// position (holes up to half a window are read through, the same
+	// forgiveness Linux's readahead heuristic applies).
+	seq := st.nextLBN != 0 && r.LBN >= st.nextLBN && r.LBN-st.nextLBN <= winSectors/2
+	if seq {
+		st.streak++
+		s.stats.SequentialHits++
+	} else {
+		st.streak = 0
+	}
+	if seq && st.streak >= 2 {
+		// Extend to a window-aligned read covering the request plus
+		// one lookahead window.
+		startLBN := st.nextLBN
+		endLBN := (r.LBN + r.Sectors + winSectors) / winSectors * winSectors
+		extended := *r
+		extended.LBN = startLBN
+		extended.Sectors = endLBN - startLBN
+		extended.Bytes = extended.Sectors * device.SectorSize
+		s.stats.Extended++
+		s.stats.ExtraBytes += (extended.Sectors - r.Sectors) * device.SectorSize
+		s.inner.Serve(p, &extended)
+		st.covFrom, st.covTo = startLBN, endLBN
+		st.nextLBN = r.LBN + r.Sectors
+		return
+	}
+	s.inner.Serve(p, r)
+	st.nextLBN = r.LBN + r.Sectors
+}
+
+// Flush implements Store.
+func (s *ReadaheadStore) Flush(p *sim.Proc) { s.inner.Flush(p) }
+
+// stream returns (creating if needed) the tracking state for a file
+// object, evicting the oldest stream at the table cap.
+func (s *ReadaheadStore) stream(file int) *raStream {
+	if st, ok := s.streams[file]; ok {
+		return st
+	}
+	if len(s.streams) >= s.MaxStreams && len(s.order) > 0 {
+		delete(s.streams, s.order[0])
+		s.order = s.order[1:]
+	}
+	st := &raStream{}
+	s.streams[file] = st
+	s.order = append(s.order, file)
+	return st
+}
+
+var _ Store = (*ReadaheadStore)(nil)

@@ -1,0 +1,372 @@
+package pfsnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/stripe"
+)
+
+// Client accesses a pfsnet file system: it asks the metadata server for
+// file placement, decomposes reads and writes into per-server
+// sub-requests (flagging fragments when a threshold is configured), and
+// issues the sub-requests concurrently over a small per-server
+// connection pool.
+type Client struct {
+	metaAddr string
+	// FragmentThreshold enables iBridge client-side flagging when > 0.
+	FragmentThreshold int64
+	// RandomThreshold flags whole small requests as regular random.
+	RandomThreshold int64
+	// PoolSize is the number of connections kept per data server
+	// (default 4): concurrent sub-requests to one server would
+	// otherwise serialize on a single socket.
+	PoolSize int
+
+	mu   sync.Mutex
+	meta *conn
+	data map[string][]*conn
+	next map[string]int
+}
+
+// conn is one pooled connection with its own lock (one in-flight request
+// per connection; concurrent sub-requests use distinct per-server
+// connections).
+type conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+func (c *conn) call(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeMessage(c.c, op, payload); err != nil {
+		return nil, err
+	}
+	msg, err := readMessage(c.c)
+	if err != nil {
+		return nil, err
+	}
+	if msg.op == opError {
+		return nil, replyError(msg.payload)
+	}
+	if msg.op != opOK {
+		return nil, fmt.Errorf("pfsnet: unexpected reply opcode %d", msg.op)
+	}
+	return msg.payload, nil
+}
+
+// File is an open pfsnet file handle.
+type File struct {
+	ID      uint64
+	Name    string
+	Size    int64
+	layout  stripe.Layout
+	servers []string
+}
+
+// Layout returns the file's striping layout.
+func (f *File) Layout() stripe.Layout { return f.layout }
+
+// NewClient returns a client of the file system whose metadata server is
+// at metaAddr.
+func NewClient(metaAddr string) *Client {
+	return &Client{
+		metaAddr: metaAddr,
+		PoolSize: 4,
+		data:     make(map[string][]*conn),
+		next:     make(map[string]int),
+	}
+}
+
+// NewIBridgeClient returns a client with fragment flagging enabled at the
+// given thresholds (20 KB in the paper).
+func NewIBridgeClient(metaAddr string, fragmentThreshold, randomThreshold int64) *Client {
+	c := NewClient(metaAddr)
+	c.FragmentThreshold = fragmentThreshold
+	c.RandomThreshold = randomThreshold
+	return c
+}
+
+// Close closes all pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	if c.meta != nil {
+		first = c.meta.c.Close()
+		c.meta = nil
+	}
+	for addr, pool := range c.data {
+		for _, cn := range pool {
+			if err := cn.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(c.data, addr)
+	}
+	return first
+}
+
+func (c *Client) metaConn() (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.meta != nil {
+		return c.meta, nil
+	}
+	nc, err := net.Dial("tcp", c.metaAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.meta = &conn{c: nc}
+	return c.meta, nil
+}
+
+// dataConn returns a pooled connection to addr, dialling lazily and
+// rotating round-robin through the pool.
+func (c *Client) dataConn(addr string) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := c.PoolSize
+	if size <= 0 {
+		size = 1
+	}
+	pool := c.data[addr]
+	if len(pool) < size {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			if len(pool) > 0 {
+				return pool[0], nil // degrade to what we have
+			}
+			return nil, err
+		}
+		cn := &conn{c: nc}
+		c.data[addr] = append(pool, cn)
+		return cn, nil
+	}
+	i := c.next[addr] % len(pool)
+	c.next[addr] = i + 1
+	return pool[i], nil
+}
+
+// dropDataConn discards a broken pooled connection so the next call
+// redials.
+func (c *Client) dropDataConn(addr string, cn *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool := c.data[addr]
+	for i, have := range pool {
+		if have == cn {
+			cn.c.Close()
+			c.data[addr] = append(pool[:i], pool[i+1:]...)
+			return
+		}
+	}
+}
+
+// dataCall performs one request against a data server, transparently
+// redialling once if the pooled connection has died (e.g. the server
+// restarted). Read and write sub-requests are idempotent, so a retry is
+// safe.
+func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) {
+	cn, err := c.dataConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := cn.call(op, payload)
+	if err == nil {
+		return reply, nil
+	}
+	if _, isRemote := err.(remoteError); isRemote {
+		return nil, err // the server answered; do not retry
+	}
+	// Transport failure: drop the connection and retry once.
+	c.dropDataConn(addr, cn)
+	cn, derr := c.dataConn(addr)
+	if derr != nil {
+		return nil, err
+	}
+	return cn.call(op, payload)
+}
+
+func (c *Client) fileFromReply(name string, payload []byte) (*File, error) {
+	d := dec{b: payload}
+	f := &File{Name: name}
+	f.ID = d.u64()
+	f.Size = d.i64()
+	unit := d.i64()
+	n := d.u32()
+	for i := uint32(0); i < n; i++ {
+		f.servers = append(f.servers, d.str())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	f.layout = stripe.Layout{Unit: unit, Servers: len(f.servers)}
+	return f, f.layout.Validate()
+}
+
+// Create creates a file of the given size.
+func (c *Client) Create(name string, size int64) (*File, error) {
+	mc, err := c.metaConn()
+	if err != nil {
+		return nil, err
+	}
+	var e enc
+	e.str(name)
+	e.i64(size)
+	reply, err := mc.call(opCreate, e.b)
+	if err != nil {
+		return nil, err
+	}
+	return c.fileFromReply(name, reply)
+}
+
+// Open opens an existing file.
+func (c *Client) Open(name string) (*File, error) {
+	mc, err := c.metaConn()
+	if err != nil {
+		return nil, err
+	}
+	var e enc
+	e.str(name)
+	reply, err := mc.call(opOpen, e.b)
+	if err != nil {
+		return nil, err
+	}
+	return c.fileFromReply(name, reply)
+}
+
+// subs decomposes a request, applying fragment flagging when configured.
+func (c *Client) subs(f *File, off, length int64) []stripe.Sub {
+	if c.FragmentThreshold > 0 {
+		return f.layout.DecomposeFlagged(off, length, c.FragmentThreshold)
+	}
+	return f.layout.Decompose(off, length)
+}
+
+// WriteAt writes p at offset off, striping it over the data servers. It
+// is synchronous: it returns once every data server has acknowledged its
+// sub-request.
+func (c *Client) WriteAt(f *File, off int64, p []byte) error {
+	if err := c.checkRange(f, off, int64(len(p))); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	random := c.RandomThreshold > 0 && int64(len(p)) < c.RandomThreshold
+	subs := c.subs(f, off, int64(len(p)))
+	errs := make(chan error, len(subs))
+	for _, sub := range subs {
+		sub := sub
+		go func() {
+			var e enc
+			e.u64(f.ID)
+			e.i64(sub.ServerOff)
+			var flags byte
+			if sub.Fragment || random {
+				flags |= 1
+			}
+			e.u8(flags)
+			e.bytes(p[sub.FileOff-off : sub.FileOff-off+sub.Length])
+			_, err := c.dataCall(f.servers[sub.Server], opWrite, e.b)
+			errs <- err
+		}()
+	}
+	var first error
+	for range subs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadAt reads len(p) bytes at offset off into p.
+func (c *Client) ReadAt(f *File, off int64, p []byte) error {
+	if err := c.checkRange(f, off, int64(len(p))); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	subs := c.subs(f, off, int64(len(p)))
+	errs := make(chan error, len(subs))
+	for _, sub := range subs {
+		sub := sub
+		go func() {
+			var e enc
+			e.u64(f.ID)
+			e.i64(sub.ServerOff)
+			e.i64(sub.Length)
+			reply, err := c.dataCall(f.servers[sub.Server], opRead, e.b)
+			if err != nil {
+				errs <- err
+				return
+			}
+			d := dec{b: reply}
+			data := d.bytes()
+			if d.err != nil {
+				errs <- d.err
+				return
+			}
+			if int64(len(data)) != sub.Length {
+				errs <- fmt.Errorf("pfsnet: short read: %d of %d bytes", len(data), sub.Length)
+				return
+			}
+			copy(p[sub.FileOff-off:], data)
+			errs <- nil
+		}()
+	}
+	var first error
+	for range subs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush asks every data server to drain its fragment log for f back to
+// the object store (pass nil to flush everything on every server).
+// Returns the total bytes written back.
+func (c *Client) Flush(f *File) (int64, error) {
+	var servers []string
+	var id uint64
+	if f != nil {
+		servers = f.servers
+		id = f.ID
+	} else {
+		// Without a file we have no server list; flush via the cached
+		// data connections.
+		c.mu.Lock()
+		for addr := range c.data {
+			servers = append(servers, addr)
+		}
+		c.mu.Unlock()
+	}
+	var total int64
+	for _, addr := range servers {
+		var e enc
+		e.u64(id)
+		reply, err := c.dataCall(addr, opFlush, e.b)
+		if err != nil {
+			return total, err
+		}
+		d := dec{b: reply}
+		total += d.i64()
+		if d.err != nil {
+			return total, d.err
+		}
+	}
+	return total, nil
+}
+
+func (c *Client) checkRange(f *File, off, length int64) error {
+	if off < 0 || length < 0 || off+length > f.Size {
+		return fmt.Errorf("pfsnet: request [%d,+%d) outside file %q of size %d", off, length, f.Name, f.Size)
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package pfsnet
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+)
+
+// DataServer stores the per-server striped objects and serves read/write
+// sub-requests over TCP. When Bridge is enabled, flagged sub-requests
+// (fragments and regular random requests) are written to a log region
+// with a mapping table — the functional analogue of iBridge's SSD cache —
+// and drained back to the object store on Flush or overwrite.
+type DataServer struct {
+	ln     net.Listener
+	bridge bool
+	store  ObjectStore
+
+	mu      sync.Mutex
+	logData []byte // the "SSD" log region
+	table   map[extKey]extVal
+
+	stats DataStats
+	wg    sync.WaitGroup
+	quit  chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// DataStats counts server activity.
+type DataStats struct {
+	Reads, Writes      int64
+	FragmentWrites     int64
+	FragmentReads      int64
+	LogBytes           int64
+	Flushes            int64
+	FlushedBytes       int64
+	ReadBytes, WrBytes int64
+}
+
+type extKey struct {
+	file uint64
+	off  int64
+}
+
+type extVal struct {
+	logOff int64
+	length int64
+}
+
+// NewDataServer starts a data server listening on addr (use
+// "127.0.0.1:0" for an ephemeral port) with an in-memory object store.
+// bridge enables the fragment log.
+func NewDataServer(addr string, bridge bool) (*DataServer, error) {
+	return NewDataServerWithStore(addr, bridge, NewMemStore())
+}
+
+// NewDataServerWithStore starts a data server over the given object
+// store (e.g. a FileStore for on-disk objects).
+func NewDataServerWithStore(addr string, bridge bool, store ObjectStore) (*DataServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &DataServer{
+		ln:     ln,
+		bridge: bridge,
+		store:  store,
+		table:  make(map[extKey]extVal),
+		quit:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *DataServer) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns a copy of the server statistics.
+func (s *DataServer) Stats() DataStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the server, flushes the log, and waits for connection
+// handlers to finish. Open client connections are severed (clients with
+// retry logic redial transparently).
+func (s *DataServer) Close() error {
+	close(s.quit)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	if ferr := s.FlushLog(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if cerr := s.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// FlushLog drains every mapped log extent back to the object store, in
+// (file, offset) order — the iBridge writeback at program termination.
+func (s *DataServer) FlushLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(0, true)
+}
+
+// flushLocked writes back mapped extents. If all is false, only extents
+// of the given file are drained.
+func (s *DataServer) flushLocked(file uint64, all bool) error {
+	type hit struct {
+		k extKey
+		v extVal
+	}
+	var hits []hit
+	for k, v := range s.table {
+		if all || k.file == file {
+			hits = append(hits, hit{k, v})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].k.file != hits[j].k.file {
+			return hits[i].k.file < hits[j].k.file
+		}
+		return hits[i].k.off < hits[j].k.off
+	})
+	for _, h := range hits {
+		data := s.logData[h.v.logOff : h.v.logOff+h.v.length]
+		if err := s.store.WriteAt(h.k.file, h.k.off, data); err != nil {
+			return err
+		}
+		delete(s.table, h.k)
+		s.stats.FlushedBytes += h.v.length
+	}
+	if all && len(s.table) == 0 {
+		s.logData = s.logData[:0] // log reclaimed
+	}
+	s.stats.Flushes++
+	return nil
+}
+
+func (s *DataServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				log.Printf("pfsnet data: accept: %v", err)
+				return
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *DataServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := readMessage(conn)
+		if err != nil {
+			return // client closed or protocol error
+		}
+		var reply []byte
+		var replyOp byte = opOK
+		switch msg.op {
+		case opWrite:
+			reply, err = s.handleWrite(msg.payload)
+		case opRead:
+			reply, err = s.handleRead(msg.payload)
+		case opStat:
+			reply, err = s.handleStat(msg.payload)
+		case opFlush:
+			reply, err = s.handleFlush(msg.payload)
+		default:
+			err = fmt.Errorf("pfsnet data: bad opcode %d", msg.op)
+		}
+		if err != nil {
+			replyOp = opError
+			reply = errorPayload(err)
+		}
+		if err := writeMessage(conn, replyOp, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleWrite payload: file u64, off i64, flags u8 (1 = fragment/random), data bytes.
+func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	file := d.u64()
+	off := d.i64()
+	flags := d.u8()
+	data := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("pfsnet data: negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Writes++
+	s.stats.WrBytes += int64(len(data))
+	if s.bridge && flags&1 != 0 {
+		// iBridge path: append to the log, record the mapping, and
+		// invalidate overlapped older mappings.
+		if err := s.invalidateLocked(file, off, int64(len(data))); err != nil {
+			return nil, err
+		}
+		logOff := int64(len(s.logData))
+		s.logData = append(s.logData, data...)
+		s.table[extKey{file, off}] = extVal{logOff: logOff, length: int64(len(data))}
+		s.stats.FragmentWrites++
+		s.stats.LogBytes += int64(len(data))
+		return nil, nil
+	}
+	// Direct path; the write also supersedes any cached mapping.
+	if err := s.invalidateLocked(file, off, int64(len(data))); err != nil {
+		return nil, err
+	}
+	return nil, s.store.WriteAt(file, off, data)
+}
+
+// invalidateLocked drops log mappings overlapping [off, off+n), first
+// writing their current content back to the object so no data is lost
+// when a partial overwrite arrives through the direct path.
+func (s *DataServer) invalidateLocked(file uint64, off, n int64) error {
+	type hit struct {
+		k extKey
+		v extVal
+	}
+	var hits []hit
+	for k, v := range s.table {
+		if k.file == file && k.off < off+n && off < k.off+v.length {
+			hits = append(hits, hit{k, v})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].k.off < hits[j].k.off })
+	for _, h := range hits {
+		data := s.logData[h.v.logOff : h.v.logOff+h.v.length]
+		if err := s.store.WriteAt(h.k.file, h.k.off, data); err != nil {
+			return err
+		}
+		delete(s.table, h.k)
+	}
+	return nil
+}
+
+// handleRead payload: file u64, off i64, length i64.
+// Reply: data bytes.
+func (s *DataServer) handleRead(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	file := d.u64()
+	off := d.i64()
+	length := d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if off < 0 || length < 0 || length > MaxMessage-64 {
+		return nil, fmt.Errorf("pfsnet data: bad read [%d,+%d)", off, length)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Reads++
+	s.stats.ReadBytes += length
+	out := make([]byte, length)
+	if err := s.store.ReadAt(file, off, out); err != nil {
+		return nil, err
+	}
+	// Overlay any mapped log extents (they are newer than the object).
+	if s.bridge {
+		for k, v := range s.table {
+			if k.file != file || k.off >= off+length || off >= k.off+v.length {
+				continue
+			}
+			from := max64(k.off, off)
+			to := min64(k.off+v.length, off+length)
+			copy(out[from-off:to-off], s.logData[v.logOff+(from-k.off):v.logOff+(to-k.off)])
+			s.stats.FragmentReads++
+		}
+	}
+	var e enc
+	e.bytes(out)
+	return e.b, nil
+}
+
+// handleStat payload: file u64. Reply: objectLen i64, mappedExtents u32,
+// logBytes i64.
+func (s *DataServer) handleStat(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	file := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	objLen, err := s.store.Size(file)
+	if err != nil {
+		return nil, err
+	}
+	var mapped uint32
+	for k := range s.table {
+		if k.file == file {
+			mapped++
+		}
+	}
+	var e enc
+	e.i64(objLen)
+	e.u32(mapped)
+	e.i64(int64(len(s.logData)))
+	return e.b, nil
+}
+
+// handleFlush payload: file u64 (0 = all files). Reply: flushed bytes i64.
+func (s *DataServer) handleFlush(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	file := d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.stats.FlushedBytes
+	if err := s.flushLocked(file, file == 0); err != nil {
+		return nil, err
+	}
+	var e enc
+	e.i64(s.stats.FlushedBytes - before)
+	return e.b, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package pfsnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestClientSurvivesServerRestart kills a data server mid-session and
+// restarts it on the same address with the same (persistent) object
+// store; the client's pooled connection has died, so its transparent
+// redial must recover.
+func TestClientSurvivesServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataServerWithStore("127.0.0.1:0", false, fs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ds.Addr()
+	ms, err := NewMetaServer("127.0.0.1:0", 64*1024, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	c := NewClient(ms.Addr())
+	defer c.Close()
+
+	f, err := c.Create("data", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 8192)
+	if err := c.WriteAt(f, 4096, payload); err != nil {
+		t.Fatalf("write before restart: %v", err)
+	}
+
+	// Crash the server (flushes and closes the store) and restart it on
+	// the same address over the same directory.
+	if err := ds.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := NewDataServerWithStore(addr, false, fs2)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer ds2.Close()
+
+	// The client's pooled connection is dead; this read must redial
+	// transparently and find the persisted data.
+	got := make([]byte, len(payload))
+	if err := c.ReadAt(f, 4096, got); err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data lost across restart")
+	}
+	// Writes after the restart work too.
+	if err := c.WriteAt(f, 0, []byte("post-restart")); err != nil {
+		t.Fatalf("write after restart: %v", err)
+	}
+}
+
+// TestRemoteErrorNotRetried ensures server-reported errors surface
+// immediately instead of being retried as transport failures.
+func TestRemoteErrorNotRetried(t *testing.T) {
+	ds, err := NewDataServer("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ms, err := NewMetaServer("127.0.0.1:0", 64*1024, []string{ds.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	c := NewClient(ms.Addr())
+	defer c.Close()
+	if _, err := c.Open("missing"); err == nil {
+		t.Fatal("expected remote error")
+	} else if _, ok := err.(remoteError); !ok {
+		t.Fatalf("error type %T, want remoteError", err)
+	}
+	readsBefore := ds.Stats().Reads
+	// A negative-length read triggers a server-side error exactly once.
+	_, err = c.dataCall(ds.Addr(), opRead, func() []byte {
+		var e enc
+		e.u64(1)
+		e.i64(0)
+		e.i64(-5)
+		return e.b
+	}())
+	if err == nil {
+		t.Fatal("bad read accepted")
+	}
+	if got := ds.Stats().Reads - readsBefore; got != 0 {
+		t.Fatalf("server counted %d reads for a rejected request", got)
+	}
+}

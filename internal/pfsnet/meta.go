@@ -1,0 +1,181 @@
+package pfsnet
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/stripe"
+)
+
+// MetaServer is the metadata service: it owns the namespace and the
+// striping layout, and tells clients which data servers hold a file.
+type MetaServer struct {
+	ln      net.Listener
+	unit    int64
+	servers []string // data server addresses, in stripe order
+
+	mu     sync.Mutex
+	files  map[string]fileMeta
+	nextID uint64
+
+	wg   sync.WaitGroup
+	quit chan struct{}
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+type fileMeta struct {
+	id   uint64
+	size int64
+}
+
+// NewMetaServer starts a metadata server on addr for a file system
+// striped over the given data server addresses with the given unit.
+func NewMetaServer(addr string, unit int64, dataServers []string) (*MetaServer, error) {
+	if unit <= 0 {
+		unit = stripe.DefaultUnit
+	}
+	if len(dataServers) == 0 {
+		return nil, fmt.Errorf("pfsnet meta: no data servers")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &MetaServer{
+		ln:      ln,
+		unit:    unit,
+		servers: append([]string(nil), dataServers...),
+		files:   make(map[string]fileMeta),
+		nextID:  1,
+		quit:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *MetaServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, severing open client connections.
+func (s *MetaServer) Close() error {
+	close(s.quit)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *MetaServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				log.Printf("pfsnet meta: accept: %v", err)
+				return
+			}
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *MetaServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := readMessage(conn)
+		if err != nil {
+			return
+		}
+		var reply []byte
+		var replyOp byte = opOK
+		switch msg.op {
+		case opCreate:
+			reply, err = s.handleCreate(msg.payload)
+		case opOpen:
+			reply, err = s.handleOpen(msg.payload)
+		default:
+			err = fmt.Errorf("pfsnet meta: bad opcode %d", msg.op)
+		}
+		if err != nil {
+			replyOp = opError
+			reply = errorPayload(err)
+		}
+		if err := writeMessage(conn, replyOp, reply); err != nil {
+			return
+		}
+	}
+}
+
+// fileReplyLocked encodes id, size, unit, and the data server list.
+func (s *MetaServer) fileReplyLocked(m fileMeta) []byte {
+	var e enc
+	e.u64(m.id)
+	e.i64(m.size)
+	e.i64(s.unit)
+	e.u32(uint32(len(s.servers)))
+	for _, srv := range s.servers {
+		e.str(srv)
+	}
+	return e.b
+}
+
+// handleCreate payload: name str, size i64.
+func (s *MetaServer) handleCreate(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	name := d.str()
+	size := d.i64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("pfsnet meta: size %d must be positive", size)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("pfsnet meta: file %q exists", name)
+	}
+	m := fileMeta{id: s.nextID, size: size}
+	s.nextID++
+	s.files[name] = m
+	return s.fileReplyLocked(m), nil
+}
+
+// handleOpen payload: name str.
+func (s *MetaServer) handleOpen(payload []byte) ([]byte, error) {
+	d := dec{b: payload}
+	name := d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfsnet meta: file %q not found", name)
+	}
+	return s.fileReplyLocked(m), nil
+}

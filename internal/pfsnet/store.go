@@ -1,0 +1,163 @@
+package pfsnet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ObjectStore is the data server's backing store for per-file objects.
+// The default is in-memory; FileStore persists objects under a directory.
+type ObjectStore interface {
+	// WriteAt writes data at off in the object for file, growing it as
+	// needed.
+	WriteAt(file uint64, off int64, data []byte) error
+	// ReadAt fills p from the object at off; missing ranges read as
+	// zeros (sparse semantics).
+	ReadAt(file uint64, off int64, p []byte) error
+	// Size returns the current object length for file.
+	Size(file uint64) (int64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is the default in-memory object store.
+type MemStore struct {
+	mu      sync.Mutex
+	objects map[uint64][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[uint64][]byte)}
+}
+
+// WriteAt implements ObjectStore.
+func (s *MemStore) WriteAt(file uint64, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("pfsnet: negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.objects[file]
+	if end := off + int64(len(data)); int64(len(o)) < end {
+		grown := make([]byte, end)
+		copy(grown, o)
+		o = grown
+	}
+	copy(o[off:], data)
+	s.objects[file] = o
+	return nil
+}
+
+// ReadAt implements ObjectStore.
+func (s *MemStore) ReadAt(file uint64, off int64, p []byte) error {
+	if off < 0 {
+		return fmt.Errorf("pfsnet: negative offset %d", off)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range p {
+		p[i] = 0
+	}
+	if o := s.objects[file]; off < int64(len(o)) {
+		copy(p, o[off:])
+	}
+	return nil
+}
+
+// Size implements ObjectStore.
+func (s *MemStore) Size(file uint64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.objects[file])), nil
+}
+
+// Close implements ObjectStore.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps each object in a sparse file under dir — the analogue
+// of PVFS2's Trove bstreams on the server-local file system.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[uint64]*os.File
+}
+
+// NewFileStore returns a store writing objects under dir (created if
+// missing).
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{dir: dir, files: make(map[uint64]*os.File)}, nil
+}
+
+func (s *FileStore) handle(file uint64) (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[file]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, fmt.Sprintf("obj-%d.dat", file)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.files[file] = f
+	return f, nil
+}
+
+// WriteAt implements ObjectStore.
+func (s *FileStore) WriteAt(file uint64, off int64, data []byte) error {
+	f, err := s.handle(file)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, off)
+	return err
+}
+
+// ReadAt implements ObjectStore.
+func (s *FileStore) ReadAt(file uint64, off int64, p []byte) error {
+	f, err := s.handle(file)
+	if err != nil {
+		return err
+	}
+	n, err := f.ReadAt(p, off)
+	if err != nil && n < len(p) {
+		// Short read past EOF: the remainder is zeros (sparse).
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+	}
+	return nil
+}
+
+// Size implements ObjectStore.
+func (s *FileStore) Size(file uint64) (int64, error) {
+	f, err := s.handle(file)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close implements ObjectStore.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, id)
+	}
+	return first
+}

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when the event queue drains while live
+// processes remain blocked and the engine was not explicitly halted.
+var ErrDeadlock = errors.New("sim: deadlock: no pending events but processes remain blocked")
+
+// Engine is a deterministic discrete-event simulation engine. It owns the
+// virtual clock and orchestrates the simulated processes so that exactly
+// one runs at a time. An Engine must be created with New and is not safe
+// for use by multiple host goroutines; all access happens either from the
+// goroutine calling Run or from the single simulated process the engine is
+// currently running.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	ctl     chan parkKind
+	procs   map[int]*Proc
+	nextID  int
+	running *Proc
+	halted  bool
+	started bool
+}
+
+type parkKind int
+
+const (
+	parkBlocked parkKind = iota
+	parkExited
+)
+
+type resumeMsg struct {
+	kill bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc  // process to resume, or
+	fn  func() // callback to run inline (must not block)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Proc is a simulated process. Each Proc is backed by a goroutine that the
+// engine resumes one at a time; while a Proc is running it may freely read
+// and mutate engine-owned state (devices, queues, ...) without locking.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan resumeMsg
+	dead   bool
+}
+
+// killed is the panic sentinel used to unwind a process goroutine when the
+// engine shuts down with processes still blocked.
+type killed struct{}
+
+// New returns a fresh Engine with the clock at zero.
+func New() *Engine {
+	return &Engine{
+		ctl:   make(chan parkKind),
+		procs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Halt requests that Run return after the current event completes.
+// Typically called by a workload-completion process; any remaining daemon
+// processes are then terminated by Run.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Procs returns the number of live simulated processes.
+func (e *Engine) Procs() int { return len(e.procs) }
+
+// Go creates a new simulated process named name and schedules it to start
+// at the current virtual time. It may be called before Run or from within
+// a running process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		id:     e.nextID,
+		name:   name,
+		resume: make(chan resumeMsg, 1),
+	}
+	e.nextID++
+	e.procs[p.id] = p
+	go p.main(fn)
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+func (p *Proc) main(fn func(p *Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); ok {
+				// Engine-initiated shutdown: report exit and stop quietly.
+				p.dead = true
+				delete(p.e.procs, p.id)
+				p.e.ctl <- parkExited
+				return
+			}
+			panic(r)
+		}
+	}()
+	msg := <-p.resume
+	if msg.kill {
+		panic(killed{})
+	}
+	fn(p)
+	p.dead = true
+	delete(p.e.procs, p.id)
+	p.e.ctl <- parkExited
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine that owns p.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// schedule enqueues an event. Exactly one of p and fn must be non-nil.
+func (e *Engine) schedule(at Time, p *Proc, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, p: p, fn: fn})
+}
+
+// After runs fn at the current time plus d. fn runs inline in the engine
+// loop and must not block in virtual time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now.Add(d), nil, fn)
+}
+
+// park hands control back to the engine and blocks until resumed.
+func (p *Proc) park() {
+	p.e.ctl <- parkBlocked
+	msg := <-p.resume
+	if msg.kill {
+		panic(killed{})
+	}
+}
+
+// Sleep suspends the process for duration d of virtual time. Negative
+// durations sleep zero time (yield).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now.Add(d), p, nil)
+	p.park()
+}
+
+// Yield gives other processes scheduled at the current instant a chance to
+// run before p continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Block parks the process with no scheduled wake-up. Another process (or
+// an engine callback) must call Engine.Wake to resume it. Block is the
+// foundation for the synchronization primitives in this package.
+func (p *Proc) Block() { p.park() }
+
+// Wake schedules proc to resume at the current virtual time. Waking a
+// process that is not blocked via Block results in undefined behaviour;
+// the primitives in this package guarantee one wake per block.
+func (e *Engine) Wake(p *Proc) {
+	if p.dead {
+		return
+	}
+	e.schedule(e.now, p, nil)
+}
+
+// WakeAt schedules proc to resume at the given absolute time.
+func (e *Engine) WakeAt(at Time, p *Proc) {
+	if p.dead {
+		return
+	}
+	e.schedule(at, p, nil)
+}
+
+// Run processes events until the engine is halted or the event queue
+// drains. On return all remaining live processes have been terminated.
+// It returns ErrDeadlock if the queue drained with processes still blocked
+// and no explicit Halt, and nil otherwise.
+func (e *Engine) Run() error {
+	if e.started {
+		panic("sim: Engine.Run called twice")
+	}
+	e.started = true
+	for !e.halted && len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		if ev.p.dead {
+			continue
+		}
+		e.running = ev.p
+		ev.p.resume <- resumeMsg{}
+		<-e.ctl
+		e.running = nil
+	}
+	deadlocked := !e.halted && len(e.procs) > 0
+	e.killAll()
+	if deadlocked {
+		return ErrDeadlock
+	}
+	return nil
+}
+
+// killAll terminates every remaining live process by unwinding its
+// goroutine, so that repeated simulations do not leak goroutines.
+func (e *Engine) killAll() {
+	for len(e.procs) > 0 {
+		var victim *Proc
+		for _, p := range e.procs {
+			victim = p
+			break
+		}
+		victim.resume <- resumeMsg{kill: true}
+		<-e.ctl
+	}
+}

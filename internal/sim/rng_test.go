@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeeds(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := NewRNG(99)
+	if err := quick.Check(func(n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	for n := 1; n <= 50; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Range(100, 200)
+		if v < 100 || v >= 200 {
+			t.Fatalf("Range(100,200) = %d", v)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(21)
+	child := parent.Fork()
+	// Child draws must not disturb the parent's sequence relative to a
+	// reference generator that forked at the same point.
+	ref := NewRNG(21)
+	refChild := ref.Fork()
+	_ = refChild
+	for i := 0; i < 100; i++ {
+		child.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatal("child draws perturbed parent stream")
+		}
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		d := r.Duration(Millisecond, 2*Millisecond)
+		if d < Millisecond || d >= 2*Millisecond {
+			t.Fatalf("Duration out of range: %v", d)
+		}
+	}
+	if d := r.Duration(Second, Second); d != Second {
+		t.Fatalf("degenerate range returned %v", d)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.50µs"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.0000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package sim
+
+// This file provides the synchronization primitives used by simulated
+// processes. Because the engine runs exactly one process at a time, the
+// primitives need no host-level locking; they only park and wake simulated
+// processes deterministically (FIFO order).
+
+// Semaphore is a counting semaphore for simulated processes. Waiters are
+// served in FIFO order. A Semaphore with capacity 1 is a mutex.
+type Semaphore struct {
+	e       *Engine
+	cap     int
+	held    int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(e *Engine, capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic("sim: semaphore capacity must be positive")
+	}
+	return &Semaphore{e: e, cap: capacity}
+}
+
+// Acquire blocks p until a unit of the semaphore is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.held < s.cap && len(s.waiters) == 0 {
+		s.held++
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.Block()
+	// Ownership was transferred by Release; held already accounts for us.
+}
+
+// TryAcquire acquires a unit without blocking and reports whether it
+// succeeded.
+func (s *Semaphore) TryAcquire() bool {
+	if s.held < s.cap && len(s.waiters) == 0 {
+		s.held++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit to the semaphore, waking the oldest waiter if
+// any. Ownership transfers directly to the woken waiter so no other
+// process can barge in between.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.e.Wake(w)
+		return
+	}
+	if s.held == 0 {
+		panic("sim: semaphore released more times than acquired")
+	}
+	s.held--
+}
+
+// Held returns the number of units currently held.
+func (s *Semaphore) Held() int { return s.held }
+
+// Waiting returns the number of processes blocked in Acquire.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Queue is an unbounded FIFO channel between simulated processes.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{e: e}
+}
+
+// Push appends v and wakes one waiting consumer, if any.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		panic("sim: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// PushFront prepends v (used for re-queueing) and wakes one waiter.
+func (q *Queue[T]) PushFront(v T) {
+	if q.closed {
+		panic("sim: push on closed queue")
+	}
+	q.items = append([]T{v}, q.items...)
+	q.wakeOne()
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.e.Wake(w)
+	}
+}
+
+// Pop removes and returns the oldest item, blocking p while the queue is
+// empty. The second result is false if the queue was closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (T, bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.Block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Close marks the queue closed and wakes all waiting consumers, whose Pop
+// calls will return ok=false once the queue drains.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		q.e.Wake(w)
+	}
+	q.waiters = nil
+}
+
+// Barrier synchronizes a fixed group of n processes, as the MPI_Barrier of
+// the simulated MPI ranks. It is reusable across generations.
+type Barrier struct {
+	e       *Engine
+	n       int
+	arrived int
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{e: e, n: n}
+}
+
+// Wait blocks p until n processes have called Wait, then releases all of
+// them and resets for the next generation.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		for _, w := range b.waiters {
+			b.e.Wake(w)
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p)
+	p.Block()
+}
+
+// Counter is a completion counter analogous to sync.WaitGroup for
+// simulated processes.
+type Counter struct {
+	e       *Engine
+	n       int
+	waiters []*Proc
+}
+
+// NewCounter returns a counter with initial count n.
+func NewCounter(e *Engine, n int) *Counter {
+	return &Counter{e: e, n: n}
+}
+
+// Add increments the count by k (k may be negative).
+func (c *Counter) Add(k int) {
+	c.n += k
+	if c.n < 0 {
+		panic("sim: negative counter")
+	}
+	if c.n == 0 {
+		c.release()
+	}
+}
+
+// Done decrements the count by one.
+func (c *Counter) Done() { c.Add(-1) }
+
+// Count returns the current count.
+func (c *Counter) Count() int { return c.n }
+
+// Wait blocks p until the count reaches zero.
+func (c *Counter) Wait(p *Proc) {
+	if c.n == 0 {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.Block()
+}
+
+func (c *Counter) release() {
+	for _, w := range c.waiters {
+		c.e.Wake(w)
+	}
+	c.waiters = nil
+}
+
+// Event is a one-shot broadcast signal: processes wait until it fires.
+type Event struct {
+	e       *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event.
+func NewEvent(e *Engine) *Event {
+	return &Event{e: e}
+}
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.e.Wake(w)
+	}
+	ev.waiters = nil
+}
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Wait blocks p until the event fires (returns immediately if already
+// fired).
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.Block()
+}

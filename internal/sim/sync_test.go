@@ -1,0 +1,314 @@
+package sim
+
+import "testing"
+
+func TestSemaphoreMutex(t *testing.T) {
+	e := New()
+	mu := NewSemaphore(e, 1)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 8; i++ {
+		e.Go("worker", func(p *Proc) {
+			mu.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(Millisecond)
+			inside--
+			mu.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d inside", maxInside)
+	}
+	if e.Now() != Time(8*Millisecond) {
+		t.Fatalf("serialized section took %v, want 8ms", e.Now())
+	}
+}
+
+func TestSemaphoreCapacity(t *testing.T) {
+	e := New()
+	sem := NewSemaphore(e, 3)
+	maxInside, inside := 0, 0
+	for i := 0; i < 9; i++ {
+		e.Go("w", func(p *Proc) {
+			sem.Acquire(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(Millisecond)
+			inside--
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxInside != 3 {
+		t.Fatalf("max concurrency %d, want 3", maxInside)
+	}
+	if e.Now() != Time(3*Millisecond) {
+		t.Fatalf("took %v, want 3ms", e.Now())
+	}
+}
+
+func TestSemaphoreFIFO(t *testing.T) {
+	e := New()
+	sem := NewSemaphore(e, 1)
+	var order []int
+	e.Go("holder", func(p *Proc) {
+		sem.Acquire(p)
+		p.Sleep(10 * Millisecond)
+		sem.Release()
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i+1) * Millisecond) // arrive in index order
+			sem.Acquire(p)
+			order = append(order, i)
+			sem.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: order %v", order)
+		}
+	}
+}
+
+func TestTryAcquireNoBarging(t *testing.T) {
+	e := New()
+	sem := NewSemaphore(e, 1)
+	var got bool
+	e.Go("holder", func(p *Proc) {
+		sem.Acquire(p)
+		p.Sleep(5 * Millisecond)
+		sem.Release()
+	})
+	e.Go("waiter", func(p *Proc) {
+		p.Sleep(Millisecond)
+		sem.Acquire(p)
+		p.Sleep(5 * Millisecond)
+		sem.Release()
+	})
+	e.Go("trier", func(p *Proc) {
+		p.Sleep(6 * Millisecond) // holder released, waiter owns it now
+		got = sem.TryAcquire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got {
+		t.Fatal("TryAcquire barged past a queued waiter")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(Millisecond)
+			q.Push(i)
+		}
+		q.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d items, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestQueueMultipleConsumers(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e)
+	count := 0
+	for i := 0; i < 4; i++ {
+		e.Go("consumer", func(p *Proc) {
+			for {
+				_, ok := q.Pop(p)
+				if !ok {
+					return
+				}
+				count++
+				p.Sleep(Millisecond)
+			}
+		})
+	}
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 20; i++ {
+			q.Push(i)
+			p.Sleep(100 * Microsecond)
+		}
+		q.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 20 {
+		t.Fatalf("consumed %d, want 20", count)
+	}
+}
+
+func TestQueuePushFront(t *testing.T) {
+	e := New()
+	q := NewQueue[int](e)
+	q.Push(2)
+	q.PushFront(1)
+	var got []int
+	e.Go("c", func(p *Proc) {
+		for q.Len() > 0 {
+			v, _ := q.Pop(p)
+			got = append(got, v)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := New()
+	const n = 6
+	b := NewBarrier(e, n)
+	var releaseTimes []Time
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("rank", func(p *Proc) {
+			p.Sleep(Duration(i) * Millisecond)
+			b.Wait(p)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(releaseTimes) != n {
+		t.Fatalf("%d ranks released, want %d", len(releaseTimes), n)
+	}
+	for _, rt := range releaseTimes {
+		if rt != Time((n-1)*int(Millisecond)) {
+			t.Fatalf("release at %v, want %v", rt, Time((n-1)*int(Millisecond)))
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := New()
+	const n = 3
+	b := NewBarrier(e, n)
+	rounds := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		e.Go("rank", func(p *Proc) {
+			for r := 0; r < 5; r++ {
+				p.Sleep(Duration(i+1) * Millisecond)
+				b.Wait(p)
+				rounds[i]++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, r := range rounds {
+		if r != 5 {
+			t.Fatalf("rank %d completed %d rounds, want 5", i, r)
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	e := New()
+	c := NewCounter(e, 3)
+	var doneAt Time = -1
+	e.Go("waiter", func(p *Proc) {
+		c.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Sleep(Duration(i) * Millisecond)
+			c.Done()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if doneAt != Time(3*Millisecond) {
+		t.Fatalf("counter released at %v, want 3ms", doneAt)
+	}
+}
+
+func TestCounterWaitZero(t *testing.T) {
+	e := New()
+	c := NewCounter(e, 0)
+	ran := false
+	e.Go("w", func(p *Proc) {
+		c.Wait(p) // must not block
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	e := New()
+	ev := NewEvent(e)
+	released := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			ev.Wait(p)
+			released++
+		})
+	}
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		ev.Fire()
+	})
+	e.Go("late", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		ev.Wait(p) // already fired: returns immediately
+		released++
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if released != 6 {
+		t.Fatalf("released %d, want 6", released)
+	}
+}

@@ -1,0 +1,190 @@
+// Package stripe implements the round-robin file striping used by PVFS2
+// and the client-side decomposition of file requests into per-server
+// sub-requests, including the fragment identification that iBridge adds in
+// the client (the paper instruments io_datafile_setup_msgpairs for this).
+//
+// A file's logical byte space is divided into fixed-size striping units;
+// unit k lives on server k mod N at server-local offset (k div N)·unit +
+// intra-unit offset. A request that is not aligned to unit boundaries
+// yields first/last sub-requests smaller than the unit — the *fragments*
+// whose inefficient disk service the paper measures and iBridge repairs.
+package stripe
+
+import (
+	"fmt"
+)
+
+// Layout describes how a file is striped.
+type Layout struct {
+	// Unit is the striping unit size in bytes (64 KB by default in
+	// PVFS2 and throughout the paper).
+	Unit int64
+	// Servers is the number of data servers the file is striped over.
+	Servers int
+}
+
+// DefaultUnit is the PVFS2 default striping unit used in the paper.
+const DefaultUnit = 64 * 1024
+
+// Sub is one sub-request of a decomposed file request, addressed to a
+// single data server.
+type Sub struct {
+	// Server is the index of the data server holding this piece.
+	Server int
+	// ServerOff is the offset within the server-local object.
+	ServerOff int64
+	// FileOff is the offset in the logical file.
+	FileOff int64
+	// Length is the sub-request length in bytes.
+	Length int64
+	// Fragment marks a sub-request that iBridge's client side flags:
+	// it belongs to a parent spanning multiple servers and is smaller
+	// than the fragment threshold. Set by Decompose when a threshold
+	// is supplied via DecomposeFlagged.
+	Fragment bool
+	// Siblings lists the servers holding the other sub-requests of the
+	// same parent (set only on fragments; passed to the data server so
+	// it can evaluate the striping magnification effect).
+	Siblings []int
+}
+
+func (s Sub) String() string {
+	tag := ""
+	if s.Fragment {
+		tag = " frag"
+	}
+	return fmt.Sprintf("srv%d[%d+%d]%s", s.Server, s.ServerOff, s.Length, tag)
+}
+
+// Validate reports whether the layout is usable.
+func (l Layout) Validate() error {
+	if l.Unit <= 0 {
+		return fmt.Errorf("stripe: unit %d must be positive", l.Unit)
+	}
+	if l.Servers <= 0 {
+		return fmt.Errorf("stripe: server count %d must be positive", l.Servers)
+	}
+	return nil
+}
+
+// Locate maps a logical file offset to its (server, server-local offset).
+func (l Layout) Locate(off int64) (server int, serverOff int64) {
+	unitIdx := off / l.Unit
+	server = int(unitIdx % int64(l.Servers))
+	serverOff = (unitIdx/int64(l.Servers))*l.Unit + off%l.Unit
+	return server, serverOff
+}
+
+// ServerBytes returns how many bytes of a file of the given total length
+// land on each server.
+func (l Layout) ServerBytes(fileLen int64) []int64 {
+	out := make([]int64, l.Servers)
+	fullUnits := fileLen / l.Unit
+	for s := range out {
+		n := fullUnits / int64(l.Servers)
+		if int64(s) < fullUnits%int64(l.Servers) {
+			n++
+		}
+		out[s] = n * l.Unit
+	}
+	if rem := fileLen % l.Unit; rem > 0 {
+		s := int((fileLen / l.Unit) % int64(l.Servers))
+		out[s] += rem
+	}
+	return out
+}
+
+// Decompose splits the request [off, off+length) into per-server
+// sub-requests. Consecutive striping units on the same server within the
+// request are NOT coalesced: each unit crossing produces its own
+// sub-request only when the server changes, i.e. contiguous spans per
+// server are merged, matching how PVFS2 builds one contiguous region per
+// server per request when possible.
+func (l Layout) Decompose(off, length int64) []Sub {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	if length <= 0 {
+		return nil
+	}
+	var subs []Sub
+	pos := off
+	remaining := length
+	for remaining > 0 {
+		server, serverOff := l.Locate(pos)
+		inUnit := l.Unit - pos%l.Unit
+		n := inUnit
+		if n > remaining {
+			n = remaining
+		}
+		// Merge with the previous sub if it is contiguous on the same
+		// server (happens when Servers == 1, or when a request wraps a
+		// full stripe and returns to the same server at the adjacent
+		// server-local offset).
+		if k := len(subs) - 1; k >= 0 && subs[k].Server == server &&
+			subs[k].ServerOff+subs[k].Length == serverOff {
+			subs[k].Length += n
+		} else {
+			subs = append(subs, Sub{
+				Server:    server,
+				ServerOff: serverOff,
+				FileOff:   pos,
+				Length:    n,
+			})
+		}
+		pos += n
+		remaining -= n
+	}
+	return subs
+}
+
+// DecomposeFlagged decomposes like Decompose and additionally applies the
+// iBridge client-side fragment rule: a sub-request is flagged as a
+// fragment when the parent spans more than one server and the sub-request
+// is smaller than threshold bytes. Flagged subs carry the identifiers of
+// the servers holding their siblings.
+func (l Layout) DecomposeFlagged(off, length int64, threshold int64) []Sub {
+	subs := l.Decompose(off, length)
+	if len(subs) < 2 {
+		return subs
+	}
+	servers := make([]int, len(subs))
+	for i, s := range subs {
+		servers[i] = s.Server
+	}
+	for i := range subs {
+		if subs[i].Length < threshold {
+			subs[i].Fragment = true
+			sib := make([]int, 0, len(subs)-1)
+			for j, srv := range servers {
+				if j != i {
+					sib = append(sib, srv)
+				}
+			}
+			subs[i].Siblings = sib
+		}
+	}
+	return subs
+}
+
+// Aligned reports whether the request [off, off+length) is aligned with
+// the striping pattern: both endpoints fall on unit boundaries (or the
+// request fits entirely inside one unit, which produces no fragments).
+func (l Layout) Aligned(off, length int64) bool {
+	if off/l.Unit == (off+length-1)/l.Unit {
+		return true // single-unit request: no decomposition fragments
+	}
+	return off%l.Unit == 0 && (off+length)%l.Unit == 0
+}
+
+// Fragments returns the total number of fragment sub-requests the request
+// would produce at the given threshold.
+func (l Layout) Fragments(off, length, threshold int64) int {
+	n := 0
+	for _, s := range l.DecomposeFlagged(off, length, threshold) {
+		if s.Fragment {
+			n++
+		}
+	}
+	return n
+}

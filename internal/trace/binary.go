@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a fixed 16-byte header ("IBTRACE1", record count,
+// name length) followed by the name and 17-byte fixed records. It is
+// ~3-4x smaller and ~10x faster to parse than the text format, for large
+// replay corpora.
+
+var binaryMagic = [8]byte{'I', 'B', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// WriteBinary serializes the trace in the binary format.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(t.Records)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(t.Name)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	var rec [17]byte
+	for _, r := range t.Records {
+		rec[0] = byte(r.Op)
+		binary.BigEndian.PutUint64(rec[1:9], uint64(r.Offset))
+		binary.BigEndian.PutUint64(rec[9:17], uint64(r.Size))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseBinary reads a trace written by WriteBinary.
+func ParseBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	nameLen := binary.BigEndian.Uint32(hdr[4:])
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: name length %d too large", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: name: %w", err)
+	}
+	t := &Trace{Name: string(name), Records: make([]Record, 0, min32(n, 1<<20))}
+	var rec [17]byte
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		op := Op(rec[0])
+		if op != Read && op != Write {
+			return nil, fmt.Errorf("trace: record %d: bad op %d", i, rec[0])
+		}
+		off := int64(binary.BigEndian.Uint64(rec[1:9]))
+		size := int64(binary.BigEndian.Uint64(rec[9:17]))
+		if off < 0 || size <= 0 {
+			return nil, fmt.Errorf("trace: record %d: bad extent [%d,+%d)", i, off, size)
+		}
+		t.Records = append(t.Records, Record{Op: op, Offset: off, Size: size})
+	}
+	return t, nil
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

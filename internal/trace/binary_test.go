@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := Generate(Workloads(500, gib, 3)[1])
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ParseBinary(&buf)
+	if err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if got.Name != orig.Name || len(got.Records) != len(orig.Records) {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", got.Name, len(got.Records), orig.Name, len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	tr := Generate(Workloads(2000, gib, 5)[0])
+	var text, bin bytes.Buffer
+	if err := tr.Write(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		t.Fatalf("binary %d bytes not smaller than text %d", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	tr := &Trace{Name: "x", Records: []Record{{Read, 0, 4096}}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ParseBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated records.
+	if _, err := ParseBinary(bytes.NewReader(good[:len(good)-3])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	// Bad opcode.
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-17] = 9
+	if _, err := ParseBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad opcode accepted")
+	}
+	// Oversized name length.
+	bad = append([]byte(nil), good...)
+	bad[12], bad[13], bad[14], bad[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ParseBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(name string, offs []uint32, sizes []uint16, write []bool) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		tr := &Trace{Name: name}
+		n := len(offs)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if len(write) < n {
+			n = len(write)
+		}
+		for i := 0; i < n; i++ {
+			op := Read
+			if write[i] {
+				op = Write
+			}
+			tr.Records = append(tr.Records, Record{Op: op, Offset: int64(offs[i]), Size: int64(sizes[i]) + 1})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ParseBinary(&buf)
+		if err != nil || got.Name != tr.Name || len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Classify applies the paper's Table I rules: requests under 20 KB are
+// random; requests larger than the 64 KB striping unit that miss the unit
+// grid are unaligned.
+func ExampleClassifier_Classify() {
+	c := trace.DefaultClassifier()
+	fmt.Println(c.Classify(trace.Record{Op: trace.Read, Offset: 0, Size: 64 * 1024}))
+	fmt.Println(c.Classify(trace.Record{Op: trace.Read, Offset: 0, Size: 65 * 1024}))
+	fmt.Println(c.Classify(trace.Record{Op: trace.Write, Offset: 123, Size: 4 * 1024}))
+	// Output:
+	// aligned
+	// unaligned
+	// random
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// GenConfig parameterizes a synthetic scientific-workload trace. The
+// generators are calibrated so that the DefaultClassifier reproduces the
+// paper's Table I percentages for each named workload, and so that
+// relative mean request sizes match the paper's Section III-E discussion
+// (S3D requests are much larger than the other three).
+type GenConfig struct {
+	Name string
+	// Records is the number of requests to generate.
+	Records int
+	// UnalignedFrac and RandomFrac are the target fractions of
+	// unaligned and random requests (Table I).
+	UnalignedFrac float64
+	RandomFrac    float64
+	// WriteFrac is the fraction of writes (checkpoint-style workloads
+	// are write-heavy).
+	WriteFrac float64
+	// UnalignedMin/Max bound unaligned request sizes (must be > unit).
+	UnalignedMin, UnalignedMax int64
+	// AlignedUnits bounds aligned request sizes in striping units.
+	AlignedUnitsMax int64
+	// RandomMax bounds random request sizes (< classifier threshold).
+	RandomMax int64
+	// FileSize bounds offsets.
+	FileSize int64
+	// SeqRunLen is the average number of consecutive sequential
+	// requests before the offset jumps (checkpoint streams are long
+	// sequential runs; analysis workloads jump often).
+	SeqRunLen int
+	// Unit is the striping unit the generator aligns against.
+	Unit int64
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+const (
+	kib = 1024
+	mib = 1024 * 1024
+	gib = 1024 * 1024 * 1024
+)
+
+// Workloads returns the generator configurations for the four traces in
+// Tables I and III, calibrated to the published percentages:
+// ALEGRA-2744 35.2/7.3, ALEGRA-5832 35.7/6.9, CTH 24.3/30.1, S3D 62.8/5.8.
+func Workloads(records int, fileSize int64, seed uint64) []GenConfig {
+	return []GenConfig{
+		{
+			Name: "ALEGRA-2744", Records: records,
+			UnalignedFrac: 0.352, RandomFrac: 0.073, WriteFrac: 0.70,
+			UnalignedMin: 65 * kib, UnalignedMax: 160 * kib,
+			AlignedUnitsMax: 3, RandomMax: 18 * kib,
+			FileSize: fileSize, SeqRunLen: 12, Unit: 64 * kib, Seed: seed,
+		},
+		{
+			Name: "ALEGRA-5832", Records: records,
+			UnalignedFrac: 0.357, RandomFrac: 0.069, WriteFrac: 0.70,
+			UnalignedMin: 65 * kib, UnalignedMax: 160 * kib,
+			AlignedUnitsMax: 3, RandomMax: 18 * kib,
+			FileSize: fileSize, SeqRunLen: 12, Unit: 64 * kib, Seed: seed + 1,
+		},
+		{
+			Name: "CTH", Records: records,
+			UnalignedFrac: 0.243, RandomFrac: 0.301, WriteFrac: 0.60,
+			UnalignedMin: 65 * kib, UnalignedMax: 160 * kib,
+			AlignedUnitsMax: 3, RandomMax: 16 * kib,
+			FileSize: fileSize, SeqRunLen: 6, Unit: 64 * kib, Seed: seed + 2,
+		},
+		{
+			// S3D: mostly large unaligned requests; mean size roughly
+			// twice the other workloads (Section III-E).
+			Name: "S3D", Records: records,
+			UnalignedFrac: 0.628, RandomFrac: 0.058, WriteFrac: 0.75,
+			UnalignedMin: 96 * kib, UnalignedMax: 256 * kib,
+			AlignedUnitsMax: 4, RandomMax: 16 * kib,
+			FileSize: fileSize, SeqRunLen: 4, Unit: 64 * kib, Seed: seed + 3,
+		},
+	}
+}
+
+// Generate produces a synthetic trace per the configuration.
+func Generate(cfg GenConfig) *Trace {
+	if cfg.Unit <= 0 {
+		cfg.Unit = 64 * kib
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 10 * gib
+	}
+	if cfg.SeqRunLen <= 0 {
+		cfg.SeqRunLen = 16
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	t := &Trace{Name: cfg.Name, Records: make([]Record, 0, cfg.Records)}
+	// Current sequential position; jumps re-seed it.
+	pos := int64(0)
+	runLeft := 0
+	for i := 0; i < cfg.Records; i++ {
+		if runLeft == 0 {
+			// Reposition: jump to a random unit-aligned spot.
+			pos = rng.Range(0, cfg.FileSize/cfg.Unit) * cfg.Unit
+			runLeft = 1 + rng.Intn(2*cfg.SeqRunLen)
+		}
+		runLeft--
+		op := Read
+		if rng.Bool(cfg.WriteFrac) {
+			op = Write
+		}
+		u := rng.Float64()
+		var rec Record
+		switch {
+		case u < cfg.RandomFrac:
+			// Random request: small, scattered offset.
+			size := rng.Range(512, cfg.RandomMax)
+			off := rng.Range(0, cfg.FileSize-size)
+			rec = Record{Op: op, Offset: off, Size: size}
+			// A random request does not disturb the sequential run.
+		case u < cfg.RandomFrac+cfg.UnalignedFrac:
+			// Unaligned request: larger than a unit with a size (and
+			// hence end offset) off the unit grid. Force the size to
+			// be non-multiple of the unit so the classifier always
+			// sees it as unaligned regardless of current position.
+			size := rng.Range(cfg.UnalignedMin, cfg.UnalignedMax)
+			if size%cfg.Unit == 0 {
+				size += 1 + rng.Range(0, cfg.Unit-2)
+			}
+			rec = Record{Op: op, Offset: pos, Size: size}
+			pos += size
+		default:
+			// Aligned request: whole units at an aligned position.
+			units := 1 + rng.Range(0, cfg.AlignedUnitsMax)
+			size := units * cfg.Unit
+			alignedPos := pos - pos%cfg.Unit
+			rec = Record{Op: op, Offset: alignedPos, Size: size}
+			pos = alignedPos + size
+		}
+		if rec.Offset+rec.Size > cfg.FileSize {
+			rec.Offset = rec.Offset % (cfg.FileSize - rec.Size)
+			pos = rec.Offset + rec.Size
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t
+}
+
+// TableI renders the Table I analysis of the given traces as text.
+func TableI(traces []*Trace) string {
+	c := DefaultClassifier()
+	out := fmt.Sprintf("%-14s %12s %10s %10s %12s\n", "Apps", "Unaligned(%)", "Random(%)", "Total(%)", "MeanSize(KB)")
+	for _, t := range traces {
+		b := c.Analyze(t)
+		out += fmt.Sprintf("%-14s %12.1f %10.1f %10.1f %12.1f\n",
+			b.Name, b.UnalignedPct, b.RandomPct, b.TotalPct, b.MeanSize/1024)
+	}
+	return out
+}

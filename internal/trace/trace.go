@@ -1,0 +1,210 @@
+// Package trace defines the I/O trace format used for the paper's
+// Table I analysis and Section III-E trace replay, along with a
+// reader/writer and the alignment/randomness classifier.
+//
+// The paper replays traces from the Sandia Scalable I/O project (ALEGRA,
+// CTH, S3D). Those traces provide the offset and size of each request but
+// not the issuing process ID; this package mirrors that: a trace is a
+// sequence of (op, offset, size) records.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Op is the request direction.
+type Op uint8
+
+// Trace operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Record is one traced I/O request.
+type Record struct {
+	Op     Op
+	Offset int64
+	Size   int64
+}
+
+// Trace is a named sequence of records.
+type Trace struct {
+	Name    string
+	Records []Record
+}
+
+// TotalBytes returns the sum of record sizes.
+func (t *Trace) TotalBytes() int64 {
+	var n int64
+	for _, r := range t.Records {
+		n += r.Size
+	}
+	return n
+}
+
+// MeanSize returns the mean request size in bytes.
+func (t *Trace) MeanSize() float64 {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return float64(t.TotalBytes()) / float64(len(t.Records))
+}
+
+// Clamp restricts the trace to offsets within [0, limit), wrapping
+// offsets that exceed the limit, mirroring the paper's "we restrict the
+// data size to 10GB during trace replay".
+func (t *Trace) Clamp(limit int64) {
+	for i := range t.Records {
+		r := &t.Records[i]
+		if r.Size > limit {
+			r.Size = limit
+		}
+		if r.Offset+r.Size > limit {
+			r.Offset = r.Offset % (limit - r.Size + 1)
+		}
+	}
+}
+
+// Write serializes the trace in a simple text format: one "op offset size"
+// line per record, preceded by a header line with the name.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s records %d\n", t.Name, len(t.Records)); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", r.Op, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse parses a trace written by Write.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var n int
+			fmt.Sscanf(text, "# trace %s records %d", &t.Name, &n)
+			continue
+		}
+		var op string
+		var rec Record
+		if _, err := fmt.Sscanf(text, "%s %d %d", &op, &rec.Offset, &rec.Size); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		switch op {
+		case "R":
+			rec.Op = Read
+		case "W":
+			rec.Op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", line, op)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Class is the Table I access category of a request.
+type Class uint8
+
+// Access categories as defined in the paper's Table I caption: unaligned
+// requests are larger than a striping unit but not aligned to unit
+// boundaries; requests smaller than the random threshold (20 KB) are
+// random; everything else is aligned/sequential.
+const (
+	ClassAligned Class = iota
+	ClassUnaligned
+	ClassRandom
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassAligned:
+		return "aligned"
+	case ClassUnaligned:
+		return "unaligned"
+	default:
+		return "random"
+	}
+}
+
+// Classifier applies the paper's Table I rules.
+type Classifier struct {
+	// Unit is the striping unit (64 KB in Table I).
+	Unit int64
+	// RandomThreshold is the size under which a request counts as
+	// random (20 KB in Table I).
+	RandomThreshold int64
+}
+
+// DefaultClassifier returns the Table I parameters.
+func DefaultClassifier() Classifier {
+	return Classifier{Unit: 64 * 1024, RandomThreshold: 20 * 1024}
+}
+
+// Classify categorizes one record.
+func (c Classifier) Classify(r Record) Class {
+	if r.Size < c.RandomThreshold {
+		return ClassRandom
+	}
+	if r.Size > c.Unit && (r.Offset%c.Unit != 0 || (r.Offset+r.Size)%c.Unit != 0) {
+		return ClassUnaligned
+	}
+	return ClassAligned
+}
+
+// Breakdown is the per-class request percentage of a trace (Table I row).
+type Breakdown struct {
+	Name         string
+	Requests     int
+	UnalignedPct float64
+	RandomPct    float64
+	TotalPct     float64 // unaligned + random
+	MeanSize     float64
+}
+
+// Analyze computes the Table I row for a trace.
+func (c Classifier) Analyze(t *Trace) Breakdown {
+	var unaligned, random int
+	for _, r := range t.Records {
+		switch c.Classify(r) {
+		case ClassUnaligned:
+			unaligned++
+		case ClassRandom:
+			random++
+		}
+	}
+	n := len(t.Records)
+	b := Breakdown{Name: t.Name, Requests: n, MeanSize: t.MeanSize()}
+	if n > 0 {
+		b.UnalignedPct = 100 * float64(unaligned) / float64(n)
+		b.RandomPct = 100 * float64(random) / float64(n)
+		b.TotalPct = b.UnalignedPct + b.RandomPct
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestClassifierRules(t *testing.T) {
+	c := DefaultClassifier()
+	cases := []struct {
+		r    Record
+		want Class
+	}{
+		{Record{Read, 0, 64 * kib}, ClassAligned},
+		{Record{Read, 0, 128 * kib}, ClassAligned},
+		{Record{Read, 0, 65 * kib}, ClassUnaligned},
+		{Record{Read, 1 * kib, 128 * kib}, ClassUnaligned},
+		{Record{Read, 0, 4 * kib}, ClassRandom},
+		{Record{Read, 12345, 19*kib + 1023}, ClassRandom},
+		{Record{Read, 0, 20 * kib}, ClassAligned},   // at threshold: not random
+		{Record{Read, 100, 40 * kib}, ClassAligned}, // ≤ unit: never "unaligned"
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.r); got != tc.want {
+			t.Errorf("Classify(%+v) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := &Trace{
+		Name: "demo",
+		Records: []Record{
+			{Read, 0, 4096},
+			{Write, 65536, 1024},
+			{Read, 1 << 30, 65 * kib},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Name != "demo" {
+		t.Fatalf("name = %q", got.Name)
+	}
+	if len(got.Records) != len(orig.Records) {
+		t.Fatalf("%d records, want %d", len(got.Records), len(orig.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != orig.Records[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got.Records[i], orig.Records[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Parse(bytes.NewBufferString("X 1 2\n")); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if _, err := Parse(bytes.NewBufferString("R notanumber 2\n")); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{Read, 15 * gib, 64 * kib},
+		{Read, 0, 20 * gib},
+	}}
+	tr.Clamp(10 * gib)
+	for i, r := range tr.Records {
+		if r.Offset+r.Size > 10*gib {
+			t.Fatalf("record %d exceeds limit: %+v", i, r)
+		}
+	}
+}
+
+// TestTableICalibration verifies the generators hit the published Table I
+// percentages within 2 points.
+func TestTableICalibration(t *testing.T) {
+	want := []struct {
+		name              string
+		unaligned, random float64
+	}{
+		{"ALEGRA-2744", 35.2, 7.3},
+		{"ALEGRA-5832", 35.7, 6.9},
+		{"CTH", 24.3, 30.1},
+		{"S3D", 62.8, 5.8},
+	}
+	cls := DefaultClassifier()
+	for i, cfg := range Workloads(20000, 10*gib, 42) {
+		tr := Generate(cfg)
+		b := cls.Analyze(tr)
+		if math.Abs(b.UnalignedPct-want[i].unaligned) > 2 {
+			t.Errorf("%s unaligned = %.1f%%, want %.1f%%", cfg.Name, b.UnalignedPct, want[i].unaligned)
+		}
+		if math.Abs(b.RandomPct-want[i].random) > 2 {
+			t.Errorf("%s random = %.1f%%, want %.1f%%", cfg.Name, b.RandomPct, want[i].random)
+		}
+	}
+}
+
+func TestS3DLargerRequests(t *testing.T) {
+	ws := Workloads(5000, 10*gib, 7)
+	var meanAlegra, meanS3D float64
+	for _, cfg := range ws {
+		tr := Generate(cfg)
+		switch cfg.Name {
+		case "ALEGRA-2744":
+			meanAlegra = tr.MeanSize()
+		case "S3D":
+			meanS3D = tr.MeanSize()
+		}
+	}
+	if meanS3D < 1.3*meanAlegra {
+		t.Fatalf("S3D mean %.0f not clearly above ALEGRA mean %.0f", meanS3D, meanAlegra)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Workloads(1000, gib, 9)[0]
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("generation not deterministic at record %d", i)
+		}
+	}
+}
+
+func TestGenerateWithinBounds(t *testing.T) {
+	cfg := Workloads(5000, gib, 13)[2]
+	cfg.FileSize = gib
+	tr := Generate(cfg)
+	for i, r := range tr.Records {
+		if r.Offset < 0 || r.Size <= 0 || r.Offset+r.Size > gib {
+			t.Fatalf("record %d out of bounds: %+v", i, r)
+		}
+	}
+}
+
+func TestTableIRendering(t *testing.T) {
+	traces := []*Trace{Generate(Workloads(2000, gib, 5)[0])}
+	out := TableI(traces)
+	if len(out) == 0 || out[:4] != "Apps" {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	b := DefaultClassifier().Analyze(&Trace{Name: "empty"})
+	if b.UnalignedPct != 0 || b.RandomPct != 0 || b.Requests != 0 {
+		t.Fatalf("empty analysis = %+v", b)
+	}
+}
