@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing packages: the parallel experiment
+# runner and the simulation engine it fans out.
+race:
+	$(GO) test -race ./internal/runner/... ./internal/sim/...
+
+vet:
+	$(GO) vet ./...
+
+# Quick engine hot-path numbers (events/sec, allocs/op).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/

@@ -5,7 +5,17 @@
 //
 //	ibridge-bench -list
 //	ibridge-bench -exp fig4 -scale medium
-//	ibridge-bench -exp all -scale small
+//	ibridge-bench -exp fig4,fig5,table3 -scale medium
+//	ibridge-bench -exp all -scale small -jobs 8
+//
+// Experiments run concurrently: every experiment fans its data-point grid
+// (independent cluster simulations) out across -jobs host goroutines, and
+// with multiple experiment ids the experiments themselves overlap too.
+// Output order and bytes are independent of -jobs: tables are emitted to
+// stdout (and -out) by a single writer in request order, and per-cluster
+// RNGs are seed-derived, so a -jobs 8 run renders byte-identical tables
+// to a -jobs 1 run. Per-experiment host timings go to stderr so the
+// rendered results stay deterministic.
 package main
 
 import (
@@ -13,17 +23,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
 		scale = flag.String("scale", "medium", "scale: smoke, small, medium, full")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		out   = flag.String("out", "", "also append rendered results to this file")
+		jobs  = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -33,7 +46,13 @@ func main() {
 		}
 		return
 	}
+	runner.SetJobs(*jobs)
 	s, err := experiments.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ids, err := resolveIDs(*exp)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -48,18 +67,71 @@ func main() {
 		defer f.Close()
 		sink = io.MultiWriter(os.Stdout, f)
 	}
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = experiments.List()
+
+	type result struct {
+		rendered string
+		elapsed  time.Duration
 	}
-	for _, id := range ids {
-		start := time.Now()
-		tbl, err := experiments.Run(id, s)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+	start := time.Now()
+	// Experiments are coarse Stream units; each one's simulations are
+	// throttled by the shared runner pool, and the emit callback is the
+	// single ordered writer for stdout and the -out file.
+	err = runner.Stream(len(ids),
+		func(i int) (result, error) {
+			t0 := time.Now()
+			tbl, err := experiments.Run(ids[i], s)
+			if err != nil {
+				return result{}, fmt.Errorf("%s: %w", ids[i], err)
+			}
+			return result{rendered: tbl.Render(), elapsed: time.Since(t0)}, nil
+		},
+		func(i int, r result) error {
+			if _, err := fmt.Fprintf(sink, "%s\n", r.rendered); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "(%s completed in %.1fs host time at scale %s)\n",
+				ids[i], r.elapsed.Seconds(), s.Name)
+			return nil
+		})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "(%d experiments in %.1fs wall time, jobs=%d)\n",
+		len(ids), time.Since(start).Seconds(), runner.Jobs())
+}
+
+// resolveIDs expands the -exp flag: a comma-separated id list, where
+// "all" (alone or among others) expands to every registered experiment.
+// Unknown ids are rejected before any simulation starts.
+func resolveIDs(exp string) ([]string, error) {
+	known := map[string]bool{}
+	for _, id := range experiments.List() {
+		known[id] = true
+	}
+	var ids []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(exp, ",") {
+		id := strings.TrimSpace(part)
+		switch {
+		case id == "":
+			continue
+		case id == "all":
+			for _, a := range experiments.List() {
+				if !seen[a] {
+					seen[a] = true
+					ids = append(ids, a)
+				}
+			}
+		case !known[id]:
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", id)
+		case !seen[id]:
+			seen[id] = true
+			ids = append(ids, id)
 		}
-		fmt.Fprintln(sink, tbl.Render())
-		fmt.Fprintf(sink, "(%s completed in %.1fs host time at scale %s)\n\n", id, time.Since(start).Seconds(), s.Name)
 	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiments selected by -exp %q", exp)
+	}
+	return ids, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -24,7 +25,9 @@ func ablationMagnification(s Scale) (*stats.Table, error) {
 		Title:   "A1: Eq.(3) magnification term on/off (+10KB offset writes, 64 procs)",
 		Columns: []string{"config", "throughput MB/s", "fragment admissions"},
 	}
-	for _, on := range []bool{true, false} {
+	variants := []bool{true, false}
+	rows, err := runner.Map(len(variants), func(i int) ([]string, error) {
+		on := variants[i]
 		cfg := baseConfig(s, cluster.IBridge)
 		cfg.IBridge.Magnification = on
 		res, rep, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{
@@ -37,14 +40,19 @@ func ablationMagnification(s Scale) (*stats.Table, error) {
 		if on {
 			name = "magnification on"
 		}
-		t.AddRow(name, mbps(rep.ThroughputMBps()), fmt.Sprint(res.Bridge.Admissions[1]))
+		return []string{name, mbps(rep.ThroughputMBps()), fmt.Sprint(res.Bridge.Admissions[1])}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("the boost raises marginal fragments' returns on the slowest sibling disk; expect >= admissions and >= throughput with it on")
 	return t, nil
 }
 
 // ablationPartition (A2): dynamic vs static partitions under the
-// heterogeneous mix (same setup as fig12, condensed).
+// heterogeneous mix (same setup as fig12, condensed). fig12 already fans
+// its config × seed grid through the runner.
 func ablationPartition(s Scale) (*stats.Table, error) {
 	tbl, err := fig12(s)
 	if err != nil {
@@ -62,7 +70,9 @@ func ablationEWMA(s Scale) (*stats.Table, error) {
 		Title:   "A3: EWMA new-sample weight sensitivity (65KB writes, 64 procs)",
 		Columns: []string{"weight(new)", "throughput MB/s", "SSD frac"},
 	}
-	for _, wNew := range []float64{7.0 / 8, 1.0 / 2, 1.0 / 8} {
+	weights := []float64{7.0 / 8, 1.0 / 2, 1.0 / 8}
+	rows, err := runner.Map(len(weights), func(i int) ([]string, error) {
+		wNew := weights[i]
 		cfg := baseConfig(s, cluster.IBridge)
 		cfg.IBridge.EWMANew = wNew
 		cfg.IBridge.EWMAOld = 1 - wNew
@@ -72,9 +82,13 @@ func ablationEWMA(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%.3f", wNew), mbps(rep.ThroughputMBps()),
-			fmt.Sprintf("%.2f", res.SSDFraction))
+		return []string{fmt.Sprintf("%.3f", wNew), mbps(rep.ThroughputMBps()),
+			fmt.Sprintf("%.2f", res.SSDFraction)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("the paper uses 7/8 on the new sample (Eq. 1); smaller weights make T staler and the redirect decision more conservative")
 	return t, nil
 }
@@ -87,7 +101,9 @@ func ablationSSDLog(s Scale) (*stats.Table, error) {
 		Title:   "A4: log-structured vs scattered SSD cache placement (BTIO, 64 procs)",
 		Columns: []string{"placement", "exec time s", "I/O time s"},
 	}
-	for _, logStructured := range []bool{true, false} {
+	variants := []bool{true, false}
+	rows, err := runner.Map(len(variants), func(i int) ([]string, error) {
+		logStructured := variants[i]
 		cfg := baseConfig(s, cluster.IBridge)
 		cfg.IBridge.LogStructured = logStructured
 		bt, _, err := btioRun(s, cfg, 64, s.SSDBytes)
@@ -98,9 +114,13 @@ func ablationSSDLog(s Scale) (*stats.Table, error) {
 		if logStructured {
 			name = "log-structured"
 		}
-		t.AddRow(name, fmt.Sprintf("%.1f", bt.TotalTime.Seconds()),
-			fmt.Sprintf("%.1f", bt.IOTime.Seconds()))
+		return []string{name, fmt.Sprintf("%.1f", bt.TotalTime.Seconds()),
+			fmt.Sprintf("%.1f", bt.IOTime.Seconds())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("scattered placement pays the SSD's random-write latency on every cache fill; the log keeps cache writes sequential (the Fig. 10 argument)")
 	return t, nil
 }
@@ -113,7 +133,9 @@ func ablationWriteback(s Scale) (*stats.Table, error) {
 		Title:   "A5: idle writeback vs flush-only (+10KB offset writes, 64 procs)",
 		Columns: []string{"config", "throughput MB/s", "flush time s", "writeback MB"},
 	}
-	for _, mode := range []string{"eager writeback", "pressure-gated (default)", "flush-only"} {
+	modes := []string{"eager writeback", "pressure-gated (default)", "flush-only"}
+	rows, err := runner.Map(len(modes), func(i int) ([]string, error) {
+		mode := modes[i]
 		cfg := baseConfig(s, cluster.IBridge)
 		switch mode {
 		case "eager writeback":
@@ -129,11 +151,14 @@ func ablationWriteback(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		name := mode
-		t.AddRow(name, mbps(rep.ThroughputMBps()),
+		return []string{mode, mbps(rep.ThroughputMBps()),
 			fmt.Sprintf("%.2f", res.FlushTime.Seconds()),
-			fmt.Sprint(res.Bridge.WritebackBytes>>20))
+			fmt.Sprint(res.Bridge.WritebackBytes >> 20)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("eager writeback in brief anticipation gaps delays foreground arrivals; the default engages only above 50%% dirty occupancy")
 	return t, nil
 }

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// renderAt runs one experiment at smoke scale under the given jobs
+// setting and returns the rendered table.
+func renderAt(t *testing.T, id string, jobs int) string {
+	t.Helper()
+	runner.SetJobs(jobs)
+	tbl, err := Run(id, Smoke)
+	if err != nil {
+		t.Fatalf("%s (jobs=%d): %v", id, jobs, err)
+	}
+	return tbl.Render()
+}
+
+// TestRenderDeterministicAcrossRuns is the regression test for the
+// determinism guarantee: the same seed must render byte-identical
+// tables across independent runs. fig2b exercises the client/server
+// pipeline; fig12 additionally sweeps explicit config seeds.
+func TestRenderDeterministicAcrossRuns(t *testing.T) {
+	defer runner.SetJobs(0)
+	for _, id := range []string{"fig2b", "fig12"} {
+		first := renderAt(t, id, 0)
+		second := renderAt(t, id, 0)
+		if first != second {
+			t.Errorf("%s: two runs with the same seed rendered different tables:\n--- first ---\n%s\n--- second ---\n%s",
+				id, first, second)
+		}
+	}
+}
+
+// TestRenderDeterministicAcrossJobs checks that the parallel harness
+// does not leak host scheduling into results: a serial run (jobs=1)
+// and a wide run (jobs=8) must render byte-identical tables.
+func TestRenderDeterministicAcrossJobs(t *testing.T) {
+	defer runner.SetJobs(0)
+	for _, id := range []string{"fig2b", "fig12"} {
+		serial := renderAt(t, id, 1)
+		wide := renderAt(t, id, 8)
+		if serial != wide {
+			t.Errorf("%s: jobs=1 and jobs=8 rendered different tables:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+				id, serial, wide)
+		}
+	}
+}

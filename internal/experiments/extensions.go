@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpiio"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -92,13 +93,18 @@ func extCollective(s Scale) (*stats.Table, error) {
 		{"collective, stock", cluster.Stock, true},
 		{"independent, iBridge", cluster.IBridge, false},
 	}
-	for _, cs := range cases {
+	rows, err := runner.Map(len(cases), func(i int) ([]string, error) {
+		cs := cases[i]
 		io, bytes, err := run(cs.mode, cs.collective)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(cs.name, fmt.Sprintf("%.2f", io.Seconds()), fmt.Sprintf("%dMB", bytes>>20))
+		return []string{cs.name, fmt.Sprintf("%.2f", io.Seconds()), fmt.Sprintf("%dMB", bytes >> 20)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("collective buffering fixes the pattern in software (aligned aggregated writes, at exchange cost); iBridge fixes it in hardware without touching the program")
 	t.Note("expected shape: both alternatives far below 'independent, stock'")
 	return t, nil
@@ -164,7 +170,9 @@ func extSieving(s Scale) (*stats.Table, error) {
 		return res.Elapsed, res.Bytes, nil
 	}
 
-	for _, sieve := range []bool{false, true} {
+	variants := []bool{false, true}
+	tblRows, err := runner.Map(len(variants), func(i int) ([]string, error) {
+		sieve := variants[i]
 		name := "per-piece reads"
 		if sieve {
 			name = "data sieving"
@@ -173,8 +181,12 @@ func extSieving(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(name, fmt.Sprintf("%.2f", el.Seconds()), fmt.Sprintf("%dMB", bytes>>20))
+		return []string{name, fmt.Sprintf("%.2f", el.Seconds()), fmt.Sprintf("%dMB", bytes >> 20)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, tblRows...)
 	t.Note("sieving trades extra bytes (reading the holes) for far fewer, larger disk requests — the same trade iBridge's threshold discussion makes")
 	t.Note("expected shape: sieving much faster despite moving more bytes")
 	return t, nil

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpiio"
 	"repro/internal/plfs"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -159,16 +160,20 @@ func extPLFS(s Scale) (*stats.Table, error) {
 		{"PLFS (mini)", runPLFS},
 		{"iBridge", func() (sim.Duration, sim.Duration, error) { return runPFS(cluster.IBridge) }},
 	}
-	for _, r := range rows {
-		w, rd, err := r.f()
+	cells, err := runner.Map(len(rows), func(i int) ([]string, error) {
+		w, rd, err := rows[i].f()
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(r.name,
+		return []string{rows[i].name,
 			fmt.Sprintf("%.1f", w.Seconds()),
 			fmt.Sprintf("%.1f", rd.Seconds()),
-			fmt.Sprintf("%.1f", (w+rd).Seconds()))
+			fmt.Sprintf("%.1f", (w + rd).Seconds())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, cells...)
 	t.Note("PLFS rearranges unaligned writes into per-rank log appends; its restart reads resolve through the index into the logs (the paper's criticism: \"spatial locality is largely lost in the log file system\")")
 	t.Note("measured shape: iBridge gives the best total — it fixes the write side without changing the logical layout, so the restart read stays as fast as an aligned read; PLFS improves the restart over stock here because at these scales the rank logs are small and dense, muting the locality loss")
 	return t, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpiio"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -28,7 +29,9 @@ func extReadahead(s Scale) (*stats.Table, error) {
 		Title:   "warmed iBridge +10KB reads with/without server readahead",
 		Columns: []string{"config", "throughput MB/s", "top dispatch bin", "mean sectors"},
 	}
-	for _, ra := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows, err := runner.Map(len(variants), func(i int) ([]string, error) {
+		ra := variants[i]
 		cfg := baseConfig(s, cluster.IBridge)
 		cfg.Readahead = ra
 		cfg.Trace = true
@@ -89,9 +92,13 @@ func extReadahead(s Scale) (*stats.Table, error) {
 		if len(top) > 0 {
 			topStr = fmt.Sprintf("%d sectors (%.0f%%)", top[0].Sectors, top[0].Fraction*100)
 		}
-		t.AddRow(name, mbps(rep.ThroughputMBps()), topStr,
-			fmt.Sprintf("%.0f", res.Blocks.MeanSectors()))
+		return []string{name, mbps(rep.ThroughputMBps()), topStr,
+			fmt.Sprintf("%.0f", res.Blocks.MeanSectors())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("readahead nudges the dispatch stream toward full windows and raises throughput; the effect is bounded here because jittered arrival order breaks the sequential-detection streaks that fully-synchronous testbeds sustain (EXPERIMENTS.md D3)")
 	return t, nil
 }

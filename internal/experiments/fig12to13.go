@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -18,6 +19,9 @@ func init() {
 // (65 KB writes — fragments) runs concurrently with BTIO (tiny writes —
 // regular random requests). The SSD partitioning is either static (1:1 or
 // 1:2 random:fragment) or iBridge's dynamic return-proportional split.
+// The config × seed grid (every seed of every partition scheme is an
+// independent cluster) fans out through the runner; times are averaged
+// per config afterwards.
 func fig12(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		ID:      "fig12",
@@ -41,40 +45,51 @@ func fig12(s Scale) (*stats.Table, error) {
 	// roughly half of (mpi-io-test fragments ≈ 10% of its data) plus
 	// BTIO's dirty set, split across the servers.
 	ssdPerServer := (s.MPIIOBytes/10 + s.BTIOBytes) / 8 / 2
-	for _, pc := range configs {
+	// Average *times* over seeds (rate averages let one fast outlier run
+	// dominate): the partition effect (paper: 5–13%) is of the same order
+	// as run-to-run variation.
+	const seeds = 5
+	type point struct {
+		mpiTime, btioTime float64
+	}
+	pts, err := runner.Map(len(configs)*seeds, func(i int) (point, error) {
+		pc := configs[i/seeds]
+		seed := uint64(i%seeds) + 1
 		cfg := baseConfig(s, pc.mode)
 		cfg.IBridge.SSDCapacity = ssdPerServer
 		cfg.IBridge.DynamicPartition = pc.dynamic
 		if !pc.dynamic {
 			cfg.IBridge.StaticFragShare = pc.fragShare
 		}
-		// Average *times* over seeds (rate averages let one fast
-		// outlier run dominate): the partition effect (paper: 5–13%)
-		// is of the same order as run-to-run variation.
+		cfg.Seed = seed
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return point{}, err
+		}
+		mpiRep := &workload.Report{}
+		var bt workload.BTIOResult
+		mpi := workload.MPIIOTest(workload.MPIIOTestConfig{
+			Procs: 64, RequestSize: 65 * kb, Write: true,
+			FileBytes: s.MPIIOBytes, Jitter: workload.DefaultJitter,
+			Seed: seed, Report: mpiRep,
+		})
+		btio := workload.BTIO(workload.BTIOConfig{
+			Procs: 64, DataBytes: s.BTIOBytes, Steps: s.BTIOSteps,
+			ComputePerStep: s.BTIOCompute / sim64(s.BTIOSteps),
+		}, &bt)
+		if _, err := c.Run(workload.Combine(mpi, btio)); err != nil {
+			return point{}, err
+		}
+		return point{mpiTime: mpiRep.Elapsed().Seconds(), btioTime: bt.IOTime.Seconds()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, pc := range configs {
 		var mpiTime, btioTime float64
-		const seeds = 5
-		for seed := uint64(1); seed <= seeds; seed++ {
-			cfg.Seed = seed
-			c, err := cluster.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			mpiRep := &workload.Report{}
-			var bt workload.BTIOResult
-			mpi := workload.MPIIOTest(workload.MPIIOTestConfig{
-				Procs: 64, RequestSize: 65 * kb, Write: true,
-				FileBytes: s.MPIIOBytes, Jitter: workload.DefaultJitter,
-				Seed: seed, Report: mpiRep,
-			})
-			btio := workload.BTIO(workload.BTIOConfig{
-				Procs: 64, DataBytes: s.BTIOBytes, Steps: s.BTIOSteps,
-				ComputePerStep: s.BTIOCompute / sim64(s.BTIOSteps),
-			}, &bt)
-			if _, err := c.Run(workload.Combine(mpi, btio)); err != nil {
-				return nil, err
-			}
-			mpiTime += mpiRep.Elapsed().Seconds()
-			btioTime += bt.IOTime.Seconds()
+		for _, p := range pts[ci*seeds : (ci+1)*seeds] {
+			mpiTime += p.mpiTime
+			btioTime += p.btioTime
 		}
 		mpiT := float64(s.MPIIOBytes/(65*kb)/64*64*65*kb) / (mpiTime / seeds) / 1e6
 		// BTIO's I/O throughput over its I/O phases (compute time is
@@ -89,22 +104,32 @@ func fig12(s Scale) (*stats.Table, error) {
 
 // fig13 reproduces Figure 13: the request-size threshold sweep for
 // mpi-io-test with 65 KB writes. Throughput is normalized to the aligned
-// 64 KB run; SSD usage is normalized to the total data accessed.
+// 64 KB run; SSD usage is normalized to the total data accessed. The
+// aligned reference is data point 0 of the grid; the threshold sweep
+// follows.
 func fig13(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		ID:      "fig13",
 		Title:   "threshold sweep: 65KB mpi-io-test (64 procs, writes)",
 		Columns: []string{"threshold", "throughput MB/s", "normalized", "SSD usage / data"},
 	}
-	// Aligned reference.
-	_, alignedRep, err := mpiioRun(s, baseConfig(s, cluster.Stock), workload.MPIIOTestConfig{
-		Procs: 64, RequestSize: 64 * kb, Write: true,
-	})
-	if err != nil {
-		return nil, err
+	thresholds := []int64{10 * kb, 20 * kb, 30 * kb, 40 * kb}
+	type point struct {
+		mbps  float64
+		usage float64
 	}
-	aligned := alignedRep.ThroughputMBps()
-	for _, th := range []int64{10 * kb, 20 * kb, 30 * kb, 40 * kb} {
+	pts, err := runner.Map(1+len(thresholds), func(i int) (point, error) {
+		if i == 0 {
+			// Aligned reference.
+			_, rep, err := mpiioRun(s, baseConfig(s, cluster.Stock), workload.MPIIOTestConfig{
+				Procs: 64, RequestSize: 64 * kb, Write: true,
+			})
+			if err != nil {
+				return point{}, err
+			}
+			return point{mbps: rep.ThroughputMBps()}, nil
+		}
+		th := thresholds[i-1]
 		cfg := baseConfig(s, cluster.IBridge)
 		cfg.FragmentThreshold = th
 		cfg.RandomThreshold = th
@@ -112,14 +137,21 @@ func fig13(s Scale) (*stats.Table, error) {
 			Procs: 64, RequestSize: 65 * kb, Write: true,
 		})
 		if err != nil {
-			return nil, err
+			return point{}, err
 		}
-		usage := float64(res.PeakSSDUsage) / float64(res.Bytes)
+		return point{mbps: rep.ThroughputMBps(), usage: float64(res.PeakSSDUsage) / float64(res.Bytes)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	aligned := pts[0].mbps
+	for i, th := range thresholds {
+		p := pts[i+1]
 		t.AddRow(
 			fmt.Sprintf("%dKB", th/kb),
-			mbps(rep.ThroughputMBps()),
-			fmt.Sprintf("%.2f", rep.ThroughputMBps()/aligned),
-			fmt.Sprintf("%.1f%%", usage*100),
+			mbps(p.mbps),
+			fmt.Sprintf("%.2f", p.mbps/aligned),
+			fmt.Sprintf("%.1f%%", p.usage*100),
 		)
 	}
 	t.Note("aligned 64KB reference: %.1f MB/s (paper: 164 MB/s)", aligned)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -17,7 +18,8 @@ func init() {
 // (optionally +1 KB, generating a fragment on server k) while an
 // interference program reads random 64 KB segments from server k.
 // Throughput is measured with and without fragments, each with and
-// without a barrier between iterations.
+// without a barrier between iterations. The k × {frag,barrier} grid runs
+// as 16 independent cluster simulations through the runner.
 func fig3(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		ID:      "fig3",
@@ -28,37 +30,36 @@ func fig3(s Scale) (*stats.Table, error) {
 	if iters < 4 {
 		iters = 4
 	}
-	run := func(k int, fragment, barrier bool) (float64, error) {
+	ks := []int{1, 2, 4, 6}
+	variants := []struct{ frag, barrier bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
+	vals, err := runner.Map(len(ks)*len(variants), func(i int) (float64, error) {
+		k, v := ks[i/len(variants)], variants[i%len(variants)]
 		cfg := baseConfig(s, cluster.Stock)
 		c, err := cluster.New(cfg)
 		if err != nil {
 			return 0, err
 		}
 		res, err := c.Run(workload.Fig3(workload.Fig3Config{
-			Procs: 16, K: k, Fragment: fragment, Barrier: barrier, Iters: iters,
+			Procs: 16, K: k, Fragment: v.frag, Barrier: v.barrier, Iters: iters,
 		}))
 		if err != nil {
 			return 0, err
 		}
 		return res.ThroughputMBps(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, k := range []int{1, 2, 4, 6} {
-		var vals [4]float64
-		var err error
-		for i, cfg := range []struct{ frag, barrier bool }{
-			{false, false}, {true, false}, {false, true}, {true, true},
-		} {
-			vals[i], err = run(k, cfg.frag, cfg.barrier)
-			if err != nil {
-				return nil, err
-			}
-		}
+	for r, k := range ks {
+		v := vals[r*len(variants) : (r+1)*len(variants)]
 		t.AddRow(
 			fmt.Sprint(k),
-			mbps(vals[0]), mbps(vals[1]),
-			fmt.Sprintf("%.0f%%", 100*(1-vals[1]/vals[0])),
-			mbps(vals[2]), mbps(vals[3]),
-			fmt.Sprintf("%.0f%%", 100*(1-vals[3]/vals[2])),
+			mbps(v[0]), mbps(v[1]),
+			fmt.Sprintf("%.0f%%", 100*(1-v[1]/v[0])),
+			mbps(v[2]), mbps(v[3]),
+			fmt.Sprintf("%.0f%%", 100*(1-v[3]/v[2])),
 		)
 	}
 	t.Note("paper: throughput with fragments is significantly lower, and relative throughput grows more slowly with k (magnification)")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mpiio"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -37,36 +38,43 @@ func fig4Cases() []fig4Case {
 // fig4 reproduces Figures 4(a) and 4(b): mpi-io-test throughput with
 // stock vs iBridge for unaligned sizes and offsets, 64 processes. Reads
 // run warmed (the paper's read benefit relies on fragments cached by a
-// prior run; Section II-B).
+// prior run; Section II-B). The cases × {write,read} × {stock,iBridge}
+// grid is 24 independent simulations.
 func fig4(s Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		ID:      "fig4",
 		Title:   "mpi-io-test throughput (MB/s), 64 procs: stock vs iBridge",
 		Columns: []string{"case", "write stock", "write iBridge", "Δ", "read stock", "read iBridge", "Δ", "SSD frac"},
 	}
-	for _, cs := range fig4Cases() {
-		row := []string{cs.name}
-		var frac float64
-		for _, write := range []bool{true, false} {
-			warm := !write // reads are warmed
-			var vals [2]float64
-			for i, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
-				res, rep, err := mpiioRun(s, baseConfig(s, mode), workload.MPIIOTestConfig{
-					Procs: 64, RequestSize: cs.size, Shift: cs.shift,
-					Write: write, Warm: warm,
-				})
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = rep.ThroughputMBps()
-				if i == 1 && write {
-					frac = res.SSDFraction
-				}
-			}
-			row = append(row, mbps(vals[0]), mbps(vals[1]), stats.Speedup(vals[0], vals[1]))
+	cases := fig4Cases()
+	modes := []cluster.Mode{cluster.Stock, cluster.IBridge}
+	type point struct {
+		mbps float64
+		frac float64 // SSDFraction, meaningful for iBridge write points
+	}
+	// Grid layout: case-major, then write/read, then stock/iBridge.
+	pts, err := runner.Map(len(cases)*4, func(i int) (point, error) {
+		cs := cases[i/4]
+		write := (i/2)%2 == 0
+		mode := modes[i%2]
+		res, rep, err := mpiioRun(s, baseConfig(s, mode), workload.MPIIOTestConfig{
+			Procs: 64, RequestSize: cs.size, Shift: cs.shift,
+			Write: write, Warm: !write, // reads are warmed
+		})
+		if err != nil {
+			return point{}, err
 		}
-		row = append(row, fmt.Sprintf("%.0f%%", frac*100))
-		t.AddRow(row...)
+		return point{mbps: rep.ThroughputMBps(), frac: res.SSDFraction}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cs := range cases {
+		p := pts[ci*4 : (ci+1)*4]
+		t.AddRow(cs.name,
+			mbps(p[0].mbps), mbps(p[1].mbps), stats.Speedup(p[0].mbps, p[1].mbps),
+			mbps(p[2].mbps), mbps(p[3].mbps), stats.Speedup(p[2].mbps, p[3].mbps),
+			fmt.Sprintf("%.0f%%", p[1].frac*100))
 	}
 	t.Note("paper writes: +105%%/+183%%/+171%% for 33/65/129KB; SSD-served bytes 19%%/10%%/4%%")
 	t.Note("paper: at +0KB iBridge equals stock; with offsets iBridge changes little while stock collapses")
@@ -76,54 +84,57 @@ func fig4(s Scale) (*stats.Table, error) {
 
 // fig5 reproduces Figure 5: block-level request-size distribution of
 // 64 KB + 10 KB-offset reads when iBridge is enabled, with the SSD warmed
-// by a prior pass (compare fig2hist's case 2e).
+// by a prior pass (compare fig2hist's case 2e). A single simulation, run
+// through the harness so its host-CPU slot is accounted like any other
+// data point.
 func fig5(s Scale) (*stats.Table, error) {
-	cfg := baseConfig(s, cluster.IBridge)
-	cfg.Trace = true
-	c, err := cluster.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var measured *struct{}
-	_ = measured
-	// Custom workload: warm pass, idle, collector reset, measured pass.
-	w := func(cl *cluster.Cluster, p *sim.Proc) {
-		f, err := cl.FS.Create("fig5", s.MPIIOBytes+16*kb)
+	results, err := runner.Map(1, func(int) (cluster.Result, error) {
+		cfg := baseConfig(s, cluster.IBridge)
+		cfg.Trace = true
+		c, err := cluster.New(cfg)
 		if err != nil {
-			panic(err)
+			return cluster.Result{}, err
 		}
-		world := mpiio.NewWorld(cl.Engine, cl.Client(), f, 64)
-		iters := s.MPIIOBytes / (64 * 64 * kb)
-		rng := sim.NewRNG(3)
-		rngs := make([]*sim.RNG, 64)
-		for i := range rngs {
-			rngs[i] = rng.Fork()
-		}
-		pass := func(r *mpiio.Rank) {
-			for k := int64(0); k < iters; k++ {
-				r.Compute(rngs[r.ID].Duration(0, workload.DefaultJitter))
-				r.ReadAt(k*64*64*kb+int64(r.ID)*64*kb+10*kb, 64*kb)
+		// Custom workload: warm pass, idle, collector reset, measured pass.
+		w := func(cl *cluster.Cluster, p *sim.Proc) {
+			f, err := cl.FS.Create("fig5", s.MPIIOBytes+16*kb)
+			if err != nil {
+				panic(err)
 			}
-		}
-		done := world.Spawn("fig5", func(r *mpiio.Rank) {
-			pass(r) // warm
-			r.Barrier()
-			r.Compute(5 * sim.Second) // idle: staging happens
-			r.Barrier()
-			if r.ID == 0 {
-				for _, col := range cl.Collectors {
-					col.Reset()
+			world := mpiio.NewWorld(cl.Engine, cl.Client(), f, 64)
+			iters := s.MPIIOBytes / (64 * 64 * kb)
+			rng := sim.NewRNG(3)
+			rngs := make([]*sim.RNG, 64)
+			for i := range rngs {
+				rngs[i] = rng.Fork()
+			}
+			pass := func(r *mpiio.Rank) {
+				for k := int64(0); k < iters; k++ {
+					r.Compute(rngs[r.ID].Duration(0, workload.DefaultJitter))
+					r.ReadAt(k*64*64*kb+int64(r.ID)*64*kb+10*kb, 64*kb)
 				}
 			}
-			r.Barrier()
-			pass(r) // measured
-		})
-		done.Wait(p)
-	}
-	res, err := c.Run(w)
+			done := world.Spawn("fig5", func(r *mpiio.Rank) {
+				pass(r) // warm
+				r.Barrier()
+				r.Compute(5 * sim.Second) // idle: staging happens
+				r.Barrier()
+				if r.ID == 0 {
+					for _, col := range cl.Collectors {
+						col.Reset()
+					}
+				}
+				r.Barrier()
+				pass(r) // measured
+			})
+			done.Wait(p)
+		}
+		return c.Run(w)
+	})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	t := &stats.Table{
 		ID:      "fig5",
 		Title:   "block-level request sizes, 64KB+10KB reads WITH iBridge (warmed)",
@@ -146,20 +157,24 @@ func fig6(s Scale) (*stats.Table, error) {
 		Title:   "65KB mpi-io-test throughput (MB/s) vs process count",
 		Columns: []string{"procs", "write stock", "write iBridge", "read stock", "read iBridge"},
 	}
-	for _, procs := range fig2procs(s) {
-		row := []string{fmt.Sprint(procs)}
-		for _, write := range []bool{true, false} {
-			for _, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
-				_, rep, err := mpiioRun(s, baseConfig(s, mode), workload.MPIIOTestConfig{
-					Procs: procs, RequestSize: 65 * kb, Write: write, Warm: !write,
-				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, mbps(rep.ThroughputMBps()))
-			}
+	procs := fig2procs(s)
+	modes := []cluster.Mode{cluster.Stock, cluster.IBridge}
+	// Grid layout: procs-major, then write/read, then stock/iBridge.
+	cells, err := runner.Map(len(procs)*4, func(i int) (string, error) {
+		write := (i/2)%2 == 0
+		_, rep, err := mpiioRun(s, baseConfig(s, modes[i%2]), workload.MPIIOTestConfig{
+			Procs: procs[i/4], RequestSize: 65 * kb, Write: write, Warm: !write,
+		})
+		if err != nil {
+			return "", err
 		}
-		t.AddRow(row...)
+		return mbps(rep.ThroughputMBps()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, p := range procs {
+		t.AddRow(append([]string{fmt.Sprint(p)}, cells[r*4:(r+1)*4]...)...)
 	}
 	t.Note("paper: iBridge improves throughput by 154%% on average across process counts; ~10%% of data served by SSDs")
 	t.Note("expected shape: iBridge above stock at every process count for both directions")
@@ -175,32 +190,37 @@ func fig7(s Scale) (*stats.Table, error) {
 		Title:   "throughput (MB/s) vs data server count (64 procs)",
 		Columns: []string{"servers", "op", "64KB stock", "65KB stock", "65KB iBridge"},
 	}
-	for _, servers := range []int{2, 4, 6, 8} {
-		for _, write := range []bool{true, false} {
-			op := "read"
-			if write {
-				op = "write"
-			}
-			row := []string{fmt.Sprint(servers), op}
-			type cfgCase struct {
-				mode cluster.Mode
-				size int64
-			}
-			for _, cc := range []cfgCase{
-				{cluster.Stock, 64 * kb}, {cluster.Stock, 65 * kb}, {cluster.IBridge, 65 * kb},
-			} {
-				cfg := baseConfig(s, cc.mode)
-				cfg.Servers = servers
-				_, rep, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{
-					Procs: 64, RequestSize: cc.size, Write: write,
-					Warm: !write && cc.mode == cluster.IBridge,
-				})
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, mbps(rep.ThroughputMBps()))
-			}
-			t.AddRow(row...)
+	serverCounts := []int{2, 4, 6, 8}
+	type cfgCase struct {
+		mode cluster.Mode
+		size int64
+	}
+	cfgCases := []cfgCase{
+		{cluster.Stock, 64 * kb}, {cluster.Stock, 65 * kb}, {cluster.IBridge, 65 * kb},
+	}
+	// Grid layout: servers-major, then write/read, then the three configs.
+	cells, err := runner.Map(len(serverCounts)*2*len(cfgCases), func(i int) (string, error) {
+		cc := cfgCases[i%len(cfgCases)]
+		write := (i/len(cfgCases))%2 == 0
+		cfg := baseConfig(s, cc.mode)
+		cfg.Servers = serverCounts[i/(2*len(cfgCases))]
+		_, rep, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{
+			Procs: 64, RequestSize: cc.size, Write: write,
+			Warm: !write && cc.mode == cluster.IBridge,
+		})
+		if err != nil {
+			return "", err
+		}
+		return mbps(rep.ThroughputMBps()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, servers := range serverCounts {
+		for _, op := range []string{"write", "read"} {
+			t.AddRow(append([]string{fmt.Sprint(servers), op}, cells[i:i+len(cfgCases)]...)...)
+			i += len(cfgCases)
 		}
 	}
 	t.Note("paper: throughput grows with server count in all cases; the 64-vs-65KB stock gap grows with servers and iBridge nearly closes it")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -23,22 +24,27 @@ func fig8(s Scale) (*stats.Table, error) {
 		Title:   "ior-mpi-io throughput (MB/s), 64 procs: stock vs iBridge",
 		Columns: []string{"size", "write stock", "write iBridge", "Δ", "read stock", "read iBridge", "Δ"},
 	}
-	for _, sz := range []int64{33 * kb, 64 * kb, 65 * kb, 129 * kb} {
-		row := []string{fmt.Sprintf("%dKB", sz/kb)}
-		for _, write := range []bool{true, false} {
-			var vals [2]float64
-			for i, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
-				_, rep, err := iorRun(s, baseConfig(s, mode), workload.IORConfig{
-					Procs: 64, RequestSize: sz, Write: write, Warm: !write,
-				})
-				if err != nil {
-					return nil, err
-				}
-				vals[i] = rep.ThroughputMBps()
-			}
-			row = append(row, mbps(vals[0]), mbps(vals[1]), stats.Speedup(vals[0], vals[1]))
+	sizes := []int64{33 * kb, 64 * kb, 65 * kb, 129 * kb}
+	modes := []cluster.Mode{cluster.Stock, cluster.IBridge}
+	// Grid layout: size-major, then write/read, then stock/iBridge.
+	vals, err := runner.Map(len(sizes)*4, func(i int) (float64, error) {
+		write := (i/2)%2 == 0
+		_, rep, err := iorRun(s, baseConfig(s, modes[i%2]), workload.IORConfig{
+			Procs: 64, RequestSize: sizes[i/4], Write: write, Warm: !write,
+		})
+		if err != nil {
+			return 0, err
 		}
-		t.AddRow(row...)
+		return rep.ThroughputMBps(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, sz := range sizes {
+		v := vals[r*4 : (r+1)*4]
+		t.AddRow(fmt.Sprintf("%dKB", sz/kb),
+			mbps(v[0]), mbps(v[1]), stats.Speedup(v[0], v[1]),
+			mbps(v[2]), mbps(v[3]), stats.Speedup(v[2], v[3]))
 	}
 	t.Note("paper: average improvement +169%% writes, +48%% reads; no improvement at fully aligned 64KB")
 	t.Note("expected shape: iBridge wins at 33/65/129KB for both directions; 64KB row near parity")
@@ -65,18 +71,20 @@ func fig9(s Scale) (*stats.Table, error) {
 		Title:   "BTIO execution time (s): stock vs iBridge",
 		Columns: []string{"procs", "recSize", "stock exec", "stock I/O frac", "iBridge exec", "iBridge I/O frac", "reduction"},
 	}
-	for _, procs := range fig9procs(s) {
-		st, _, err := btioRun(s, baseConfig(s, cluster.Stock), procs, s.SSDBytes)
-		if err != nil {
-			return nil, err
-		}
-		ib, _, err := btioRun(s, baseConfig(s, cluster.IBridge), procs, s.SSDBytes)
-		if err != nil {
-			return nil, err
-		}
+	procs := fig9procs(s)
+	modes := []cluster.Mode{cluster.Stock, cluster.IBridge}
+	bts, err := runner.Map(len(procs)*2, func(i int) (workload.BTIOResult, error) {
+		bt, _, err := btioRun(s, baseConfig(s, modes[i%2]), procs[i/2], s.SSDBytes)
+		return bt, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, p := range procs {
+		st, ib := bts[r*2], bts[r*2+1]
 		t.AddRow(
-			fmt.Sprint(procs),
-			fmt.Sprintf("%dB", workload.RecordSize(procs)),
+			fmt.Sprint(p),
+			fmt.Sprintf("%dB", workload.RecordSize(p)),
 			fmt.Sprintf("%.1f", st.TotalTime.Seconds()),
 			fmt.Sprintf("%.0f%%", 100*st.IOTime.Seconds()/st.TotalTime.Seconds()),
 			fmt.Sprintf("%.1f", ib.TotalTime.Seconds()),
@@ -97,17 +105,22 @@ func fig10(s Scale) (*stats.Table, error) {
 		Title:   "BTIO execution time (s): disk-only vs SSD-only vs iBridge",
 		Columns: []string{"procs", "disk-only", "SSD-only", "iBridge"},
 	}
-	for _, procs := range fig9procs(s) {
-		var vals [3]float64
-		for i, mode := range []cluster.Mode{cluster.Stock, cluster.SSDOnly, cluster.IBridge} {
-			bt, _, err := btioRun(s, baseConfig(s, mode), procs, s.SSDBytes)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = bt.TotalTime.Seconds()
+	procs := fig9procs(s)
+	modes := []cluster.Mode{cluster.Stock, cluster.SSDOnly, cluster.IBridge}
+	vals, err := runner.Map(len(procs)*len(modes), func(i int) (float64, error) {
+		bt, _, err := btioRun(s, baseConfig(s, modes[i%len(modes)]), procs[i/len(modes)], s.SSDBytes)
+		if err != nil {
+			return 0, err
 		}
-		t.AddRow(fmt.Sprint(procs),
-			fmt.Sprintf("%.1f", vals[0]), fmt.Sprintf("%.1f", vals[1]), fmt.Sprintf("%.1f", vals[2]))
+		return bt.TotalTime.Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for r, p := range procs {
+		v := vals[r*len(modes) : (r+1)*len(modes)]
+		t.AddRow(fmt.Sprint(p),
+			fmt.Sprintf("%.1f", v[0]), fmt.Sprintf("%.1f", v[1]), fmt.Sprintf("%.1f", v[2]))
 	}
 	t.Note("paper: iBridge beats even SSD-only storage — its log-structured SSD writes avoid the SSD's random-write penalty (140 vs 30 MB/s)")
 	t.Note("expected shape: iBridge < SSD-only < disk-only at every process count")
@@ -125,13 +138,18 @@ func fig11(s Scale) (*stats.Table, error) {
 	// The paper sweeps 0..8 GB against 6.8 GB of data; scale the sweep
 	// to the scaled dataset.
 	fracs := []float64{0, 0.125, 0.25, 0.5, 1.0, 1.25}
-	var io0, ioFull float64
-	for _, f := range fracs {
-		capBytes := int64(f * float64(s.BTIOBytes))
+	bts, err := runner.Map(len(fracs), func(i int) (workload.BTIOResult, error) {
+		capBytes := int64(fracs[i] * float64(s.BTIOBytes))
 		bt, _, err := btioRun(s, baseConfig(s, cluster.IBridge), 64, capBytes)
-		if err != nil {
-			return nil, err
-		}
+		return bt, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var io0, ioFull float64
+	for i, f := range fracs {
+		bt := bts[i]
+		capBytes := int64(f * float64(s.BTIOBytes))
 		t.AddRow(
 			fmt.Sprintf("%.0fMB (%.0f%% of data)", float64(capBytes)/float64(workload.MB), f*100),
 			fmt.Sprintf("%.1f", bt.IOTime.Seconds()),

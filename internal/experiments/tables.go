@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/hdd"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -21,6 +22,8 @@ func init() {
 
 // table1 reproduces Table I: percentages of unaligned and random
 // accesses in the four scientific I/O traces with a 64 KB striping unit.
+// Each trace generates and classifies independently, so the four rows
+// are a runner grid.
 func table1(s Scale) (*stats.Table, error) {
 	paper := map[string][2]float64{
 		"ALEGRA-2744": {35.2, 7.3},
@@ -33,22 +36,28 @@ func table1(s Scale) (*stats.Table, error) {
 		Title:   "unaligned/random access percentages (64KB unit, 20KB random threshold)",
 		Columns: []string{"app", "unaligned%", "paper", "random%", "paper", "total%"},
 	}
-	cls := trace.DefaultClassifier()
-	for _, cfg := range trace.Workloads(s.TraceRecords, s.TraceBytes, 42) {
+	workloads := trace.Workloads(s.TraceRecords, s.TraceBytes, 42)
+	rows, err := runner.Map(len(workloads), func(i int) ([]string, error) {
+		cfg := workloads[i]
 		tr := trace.Generate(cfg)
-		b := cls.Analyze(tr)
+		b := trace.DefaultClassifier().Analyze(tr)
 		p := paper[cfg.Name]
-		t.AddRow(cfg.Name,
+		return []string{cfg.Name,
 			fmt.Sprintf("%.1f", b.UnalignedPct), fmt.Sprintf("%.1f", p[0]),
 			fmt.Sprintf("%.1f", b.RandomPct), fmt.Sprintf("%.1f", p[1]),
-			fmt.Sprintf("%.1f", b.TotalPct))
+			fmt.Sprintf("%.1f", b.TotalPct)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Note("synthetic traces calibrated to the published Sandia trace statistics (the originals are not redistributable)")
 	return t, nil
 }
 
 // table2 reproduces Table II: 4 KB microbenchmarks of the storage device
-// models.
+// models. The patterns × devices grid runs as eight independent
+// single-device simulations.
 func table2(Scale) (*stats.Table, error) {
 	t := &stats.Table{
 		ID:      "table2",
@@ -72,21 +81,25 @@ func table2(Scale) (*stats.Table, error) {
 		{"seq write", device.Write, false},
 		{"rand write", device.Write, true},
 	}
-	benchSSD := func(pt pattern) float64 {
+	// Grid layout: pattern-major, SSD then HDD.
+	vals, err := runner.Map(len(patterns)*2, func(i int) (float64, error) {
+		pt := patterns[i/2]
 		e := sim.New()
-		dev := ssd.New(e, "ssd", ssd.DefaultSpec())
-		return deviceBench(e, dev, pt.op, pt.random, dev.Capacity())
-	}
-	benchHDD := func(pt pattern) float64 {
-		e := sim.New()
+		if i%2 == 0 {
+			dev := ssd.New(e, "ssd", ssd.DefaultSpec())
+			return deviceBench(e, dev, pt.op, pt.random, dev.Capacity()), nil
+		}
 		dev := hdd.New(e, "hdd", hdd.DefaultSpec(), sim.NewRNG(1))
-		return deviceBench(e, dev, pt.op, pt.random, dev.Capacity())
+		return deviceBench(e, dev, pt.op, pt.random, dev.Capacity()), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, pt := range patterns {
+	for pi, pt := range patterns {
 		p := paper[pt.name]
 		t.AddRow(pt.name,
-			fmt.Sprintf("%.0f", benchSSD(pt)), fmt.Sprintf("%.0f", p[0]),
-			fmt.Sprintf("%.1f", benchHDD(pt)), fmt.Sprintf("%.0f", p[1]))
+			fmt.Sprintf("%.0f", vals[pi*2]), fmt.Sprintf("%.0f", p[0]),
+			fmt.Sprintf("%.1f", vals[pi*2+1]), fmt.Sprintf("%.0f", p[1]))
 	}
 	t.Note("SSD model matches Table II; the HDD random rows are mechanical (seek+rotation) rates — the paper's 15/5 MB/s random figures are not achievable at queue depth 1 on a 7200-RPM disk and are treated as vendor-sheet values (see EXPERIMENTS.md)")
 	return t, nil
@@ -113,7 +126,8 @@ func deviceBench(e *sim.Engine, dev device.Device, op device.Op, random bool, ca
 }
 
 // table3 reproduces Table III: average request service times of the four
-// trace replays, stock vs iBridge.
+// trace replays, stock vs iBridge. Each (trace, mode) replay is an
+// independent cluster simulation.
 func table3(s Scale) (*stats.Table, error) {
 	paper := map[string][2]float64{
 		"ALEGRA-2744": {16.6, 14.2},
@@ -126,26 +140,32 @@ func table3(s Scale) (*stats.Table, error) {
 		Title:   "trace replay: average request service time (ms)",
 		Columns: []string{"trace", "stock", "paper", "iBridge", "paper", "reduction"},
 	}
-	for _, gcfg := range trace.Workloads(s.TraceRecords, s.TraceBytes, 42) {
-		var vals [2]sim.Duration
-		for i, mode := range []cluster.Mode{cluster.Stock, cluster.IBridge} {
-			tr := trace.Generate(gcfg)
-			cfg := baseConfig(s, mode)
-			c, err := cluster.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := c.Run(workload.Replay(tr, s.TraceBytes))
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = res.AvgServiceTime
+	workloads := trace.Workloads(s.TraceRecords, s.TraceBytes, 42)
+	modes := []cluster.Mode{cluster.Stock, cluster.IBridge}
+	vals, err := runner.Map(len(workloads)*2, func(i int) (sim.Duration, error) {
+		gcfg := workloads[i/2]
+		tr := trace.Generate(gcfg)
+		cfg := baseConfig(s, modes[i%2])
+		c, err := cluster.New(cfg)
+		if err != nil {
+			return 0, err
 		}
+		res, err := c.Run(workload.Replay(tr, s.TraceBytes))
+		if err != nil {
+			return 0, err
+		}
+		return res.AvgServiceTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, gcfg := range workloads {
+		st, ib := vals[wi*2], vals[wi*2+1]
 		p := paper[gcfg.Name]
 		t.AddRow(gcfg.Name,
-			fmt.Sprintf("%.1f", vals[0].Milliseconds()), fmt.Sprintf("%.1f", p[0]),
-			fmt.Sprintf("%.1f", vals[1].Milliseconds()), fmt.Sprintf("%.1f", p[1]),
-			fmt.Sprintf("%.0f%%", 100*(1-float64(vals[1])/float64(vals[0]))))
+			fmt.Sprintf("%.1f", st.Milliseconds()), fmt.Sprintf("%.1f", p[0]),
+			fmt.Sprintf("%.1f", ib.Milliseconds()), fmt.Sprintf("%.1f", p[1]),
+			fmt.Sprintf("%.0f%%", 100*(1-float64(ib)/float64(st))))
 	}
 	t.Note("paper reductions: 13.9%%/18.7%%/25.9%%/29.8%%; CTH and S3D improve most (more random/unaligned requests); S3D's larger requests give it the largest absolute service time")
 	return t, nil

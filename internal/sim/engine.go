@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrDeadlock is returned by Run when the event queue drains while live
@@ -15,10 +15,20 @@ var ErrDeadlock = errors.New("sim: deadlock: no pending events but processes rem
 // one runs at a time. An Engine must be created with New and is not safe
 // for use by multiple host goroutines; all access happens either from the
 // goroutine calling Run or from the single simulated process the engine is
-// currently running.
+// currently running. Distinct Engines share nothing, so independent
+// simulations may run concurrently on separate host goroutines (the basis
+// of internal/runner's parallel experiment harness).
 type Engine struct {
-	now     Time
-	events  eventHeap
+	now    Time
+	events eventHeap
+	// nowq is the same-instant fast path: events scheduled at exactly the
+	// current virtual time. Because seq grows monotonically, every entry
+	// in nowq was scheduled after every heap entry with the same
+	// timestamp, so draining the heap's now-events first and then nowq in
+	// FIFO order preserves the global (at, seq) order without paying a
+	// heap sift for the common Wake/Yield/After(0) case. The ring's
+	// backing array is reused across drains — the event freelist.
+	nowq    eventRing
 	seq     uint64
 	ctl     chan parkKind
 	procs   map[int]*Proc
@@ -39,6 +49,8 @@ type resumeMsg struct {
 	kill bool
 }
 
+// event is stored by value in the heap and ring; scheduling an event
+// performs no per-event allocation.
 type event struct {
 	at  Time
 	seq uint64
@@ -46,23 +58,88 @@ type event struct {
 	fn  func() // callback to run inline (must not block)
 }
 
-type eventHeap []*event
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq), stored by
+// value: no interface boxing, no per-event heap allocation, and a 4-ary
+// layout that halves the sift-down depth versus a binary heap for the
+// deep timer populations the cluster builds (one pending timer per
+// device/daemon).
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The caller must ensure the
+// heap is non-empty.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the fn/p references
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		min := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// eventRing is a FIFO of same-instant events backed by a reusable slice:
+// head/tail indices walk the array and reset to zero whenever the ring
+// drains, so steady-state operation performs no allocation at all.
+type eventRing struct {
+	buf  []event
+	head int
+}
+
+func (r *eventRing) push(ev event) { r.buf = append(r.buf, ev) }
+
+func (r *eventRing) len() int { return len(r.buf) - r.head }
+
+func (r *eventRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{} // release references
+	r.head++
+	if r.head == len(r.buf) {
+		// Drained: rewind onto the same backing array.
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
 	return ev
 }
 
@@ -102,6 +179,9 @@ func (e *Engine) Halted() bool { return e.halted }
 
 // Procs returns the number of live simulated processes.
 func (e *Engine) Procs() int { return len(e.procs) }
+
+// pending returns the number of schedulable events.
+func (e *Engine) pending() int { return len(e.events) + e.nowq.len() }
 
 // Go creates a new simulated process named name and schedules it to start
 // at the current virtual time. It may be called before Run or from within
@@ -153,12 +233,19 @@ func (p *Proc) Engine() *Engine { return p.e }
 func (p *Proc) Now() Time { return p.e.now }
 
 // schedule enqueues an event. Exactly one of p and fn must be non-nil.
+// Same-instant events take the ring fast path; future events go through
+// the heap.
 func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, p: p, fn: fn})
+	ev := event{at: at, seq: e.seq, p: p, fn: fn}
+	if at == e.now {
+		e.nowq.push(ev)
+		return
+	}
+	e.events.push(ev)
 }
 
 // After runs fn at the current time plus d. fn runs inline in the engine
@@ -216,6 +303,17 @@ func (e *Engine) WakeAt(at Time, p *Proc) {
 	e.schedule(at, p, nil)
 }
 
+// next removes and returns the globally next event in (at, seq) order.
+// Heap events at the current instant always precede ring events (they
+// were scheduled before the clock reached now, hence carry smaller seqs);
+// ring events precede any strictly later heap event.
+func (e *Engine) next() event {
+	if len(e.events) > 0 && (e.nowq.len() == 0 || e.events[0].at == e.now) {
+		return e.events.pop()
+	}
+	return e.nowq.pop()
+}
+
 // Run processes events until the engine is halted or the event queue
 // drains. On return all remaining live processes have been terminated.
 // It returns ErrDeadlock if the queue drained with processes still blocked
@@ -225,8 +323,8 @@ func (e *Engine) Run() error {
 		panic("sim: Engine.Run called twice")
 	}
 	e.started = true
-	for !e.halted && len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for !e.halted && e.pending() > 0 {
+		ev := e.next()
 		e.now = ev.at
 		if ev.fn != nil {
 			ev.fn()
@@ -250,14 +348,24 @@ func (e *Engine) Run() error {
 
 // killAll terminates every remaining live process by unwinding its
 // goroutine, so that repeated simulations do not leak goroutines.
+// Processes are killed in ascending id (creation) order so that any
+// shutdown-order-sensitive accounting — post-halt device stats, unwind
+// side effects — is reproducible run to run.
 func (e *Engine) killAll() {
 	for len(e.procs) > 0 {
-		var victim *Proc
-		for _, p := range e.procs {
-			victim = p
-			break
+		ids := make([]int, 0, len(e.procs))
+		for id := range e.procs {
+			ids = append(ids, id)
 		}
-		victim.resume <- resumeMsg{kill: true}
-		<-e.ctl
+		sort.Ints(ids)
+		for _, id := range ids {
+			victim, ok := e.procs[id]
+			if !ok {
+				// Already unwound by a side effect of a prior kill.
+				continue
+			}
+			victim.resume <- resumeMsg{kill: true}
+			<-e.ctl
+		}
 	}
 }
