@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke
+.PHONY: all build test race vet bench-smoke cover ci
 
 all: build test vet
 
@@ -21,3 +21,14 @@ vet:
 # Quick engine hot-path numbers (events/sec, allocs/op).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/
+
+# Coverage across all packages, with an HTML report in cover.html.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -html=cover.out -o cover.html
+	$(GO) tool cover -func=cover.out | tail -1
+
+# The full gate: vet, race on the concurrency-bearing packages, the
+# regular test suite (which includes the engine alloc-regression guard),
+# and the hot-path bench smoke.
+ci: vet race test bench-smoke

@@ -7,6 +7,7 @@
 //	ibridge-bench -exp fig4 -scale medium
 //	ibridge-bench -exp fig4,fig5,table3 -scale medium
 //	ibridge-bench -exp all -scale small -jobs 8
+//	ibridge-bench -exp fig12 -metrics -trace trace.json -v
 //
 // Experiments run concurrently: every experiment fans its data-point grid
 // (independent cluster simulations) out across -jobs host goroutines, and
@@ -14,8 +15,9 @@
 // Output order and bytes are independent of -jobs: tables are emitted to
 // stdout (and -out) by a single writer in request order, and per-cluster
 // RNGs are seed-derived, so a -jobs 8 run renders byte-identical tables
-// to a -jobs 1 run. Per-experiment host timings go to stderr so the
-// rendered results stay deterministic.
+// to a -jobs 1 run. Diagnostics (timings, -metrics report) go to stderr
+// and -trace to its own file, so the rendered results stay deterministic
+// whether or not observability is enabled.
 package main
 
 import (
@@ -27,16 +29,22 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
-		scale = flag.String("scale", "medium", "scale: smoke, small, medium, full")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		out   = flag.String("out", "", "also append rendered results to this file")
-		jobs  = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
+		scale   = flag.String("scale", "medium", "scale: smoke, small, medium, full")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		out     = flag.String("out", "", "also append rendered results to this file")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
+		metrics = flag.Bool("metrics", false, "print the metrics registry and T_i telemetry to stderr")
+		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON request-flow trace to this file")
+		obsMS   = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
+		verbose = flag.Bool("v", false, "verbose: per-experiment host timings on stderr")
 	)
 	flag.Parse()
 
@@ -46,6 +54,18 @@ func main() {
 		}
 		return
 	}
+	logLevel := obs.LevelInfo
+	if *verbose {
+		logLevel = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, logLevel)
+	set := obs.New(obs.Config{
+		Metrics:     *metrics,
+		Trace:       *traceTo != "",
+		SampleEvery: sim.Duration(*obsMS) * sim.Millisecond,
+	})
+	experiments.SetObs(set)
+
 	runner.SetJobs(*jobs)
 	s, err := experiments.ScaleByName(*scale)
 	if err != nil {
@@ -89,7 +109,7 @@ func main() {
 			if _, err := fmt.Fprintf(sink, "%s\n", r.rendered); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "(%s completed in %.1fs host time at scale %s)\n",
+			logger.Debugf("%s completed in %.1fs host time at scale %s",
 				ids[i], r.elapsed.Seconds(), s.Name)
 			return nil
 		})
@@ -97,8 +117,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "(%d experiments in %.1fs wall time, jobs=%d)\n",
+	logger.Infof("%d experiments in %.1fs wall time, jobs=%d",
 		len(ids), time.Since(start).Seconds(), runner.Jobs())
+
+	if *metrics {
+		set.WriteMetrics(os.Stderr)
+	}
+	if *traceTo != "" {
+		if err := writeTrace(set, *traceTo); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		logger.Infof("trace: %d events written to %s (load in chrome://tracing)",
+			set.Tracer().Len(), *traceTo)
+	}
+}
+
+// writeTrace dumps the buffered request-flow trace as Chrome trace_event
+// JSON.
+func writeTrace(set *obs.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := set.Tracer().WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // resolveIDs expands the -exp flag: a comma-separated id list, where

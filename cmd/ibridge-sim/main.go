@@ -6,7 +6,8 @@
 //
 //	ibridge-sim -mode ibridge -size 65536 -procs 64 -write
 //	ibridge-sim -mode stock -size 65536 -shift 10240 -servers 4
-//	ibridge-sim -mode ibridge -threshold 40960 -ssd 2147483648 -trace
+//	ibridge-sim -mode ibridge -threshold 40960 -ssd 2147483648 -blktrace
+//	ibridge-sim -mode ibridge -metrics -trace trace.json -obs-sample-ms 500
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -35,7 +37,10 @@ func main() {
 		threshold = flag.Int64("threshold", 20*1024, "fragment/random threshold bytes")
 		ssdBytes  = flag.Int64("ssd", 1<<30, "per-server SSD cache bytes")
 		readahead = flag.Bool("readahead", false, "enable server-side readahead")
-		trace     = flag.Bool("trace", false, "print the block-level request size distribution")
+		blktrace  = flag.Bool("blktrace", false, "print the block-level request size distribution")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry and T_i time series after the run")
+		traceTo   = flag.String("trace", "", "write a Chrome trace_event JSON request-flow trace to this file")
+		obsMS     = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
 		jitterUS  = flag.Int64("jitter", 2000, "per-rank think time bound in microseconds")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 	)
@@ -59,8 +64,14 @@ func main() {
 	cfg.RandomThreshold = *threshold
 	cfg.IBridge.SSDCapacity = *ssdBytes
 	cfg.Readahead = *readahead
-	cfg.Trace = *trace
+	cfg.Trace = *blktrace
 	cfg.Seed = *seed
+	set := obs.New(obs.Config{
+		Metrics:     *metrics,
+		Trace:       *traceTo != "",
+		SampleEvery: sim.Duration(*obsMS) * sim.Millisecond,
+	})
+	cfg.Obs = set
 
 	c, err := cluster.New(cfg)
 	if err != nil {
@@ -103,8 +114,27 @@ func main() {
 	ds := c.DiskStats()
 	fmt.Printf("disks:          %d ops, %d repositionings, busy %.0f%%\n",
 		ds.TotalOps(), ds.Seeks, 100*ds.BusyTime.Seconds()/float64(cfg.Servers)/(res.Elapsed+res.FlushTime).Seconds())
-	if *trace && res.Blocks != nil {
+	if *blktrace && res.Blocks != nil {
 		fmt.Println()
 		fmt.Print(res.Blocks.Render())
+	}
+	if *metrics {
+		fmt.Println()
+		set.WriteMetrics(os.Stdout)
+		set.WriteTiSeries(os.Stdout)
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := set.Tracer().WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load in chrome://tracing)\n",
+			set.Tracer().Len(), *traceTo)
 	}
 }

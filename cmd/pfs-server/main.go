@@ -3,24 +3,33 @@
 // Usage:
 //
 //	pfs-server -listen 127.0.0.1:7001 -ibridge
+//	pfs-server -listen 127.0.0.1:7001 -debug-addr 127.0.0.1:7071
+//
+// With -debug-addr the server exposes its metrics registry over expvar:
+// GET http://<debug-addr>/debug/vars returns a JSON map holding the
+// standard expvar keys plus "pfs" (the live server counters).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7001", "address to listen on")
-		ibridge = flag.Bool("ibridge", false, "enable the iBridge fragment log")
-		dir     = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
-		stats   = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
+		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		ibridge   = flag.Bool("ibridge", false, "enable the iBridge fragment log")
+		dir       = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
+		stats     = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
+		debugAddr = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
 	)
 	flag.Parse()
 	var store pfsnet.ObjectStore = pfsnet.NewMemStore()
@@ -36,6 +45,26 @@ func main() {
 		log.Fatalf("pfs-server: %v", err)
 	}
 	log.Printf("pfs-server: serving on %s (iBridge log: %v)", ds.Addr(), *ibridge)
+	if *debugAddr != "" {
+		// Mirror the live server counters into an obs registry and
+		// publish it; gauges registered as functions read ds.Stats() at
+		// scrape time, so /debug/vars is always current.
+		reg := obs.NewRegistry()
+		reg.RegisterFunc("pfs.reads", func() float64 { return float64(ds.Stats().Reads) })
+		reg.RegisterFunc("pfs.writes", func() float64 { return float64(ds.Stats().Writes) })
+		reg.RegisterFunc("pfs.fragment_writes", func() float64 { return float64(ds.Stats().FragmentWrites) })
+		reg.RegisterFunc("pfs.fragment_reads", func() float64 { return float64(ds.Stats().FragmentReads) })
+		reg.RegisterFunc("pfs.log_bytes", func() float64 { return float64(ds.Stats().LogBytes) })
+		reg.PublishExpvar("pfs")
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			log.Printf("pfs-server: expvar metrics on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("pfs-server: debug server: %v", err)
+			}
+		}()
+	}
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/hdd"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -71,6 +72,10 @@ type Config struct {
 	// Trace attaches blktrace collectors to the disk queues.
 	Trace bool
 	Seed  uint64
+	// Obs is the observability sink shared by all cluster instances of
+	// one run (metrics registry, request-flow tracer, T_i telemetry).
+	// nil disables instrumentation entirely — the zero-cost path.
+	Obs *obs.Set
 }
 
 // DefaultConfig mirrors the paper's evaluation platform: 8 data servers,
@@ -118,6 +123,21 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	e := sim.New()
 	c := &Cluster{Engine: e, cfg: cfg}
+	// Resolve the observability bundles once; every accessor is nil-safe
+	// and returns a nil concrete pointer when disabled, so components see
+	// either a live sink or the zero-cost nil. The explicit != nil guards
+	// before Set*Probe calls keep a typed nil from becoming a non-nil
+	// interface value.
+	run := cfg.Obs.NextRun()
+	tr := cfg.Obs.Tracer()
+	hddM := cfg.Obs.DeviceMetrics("hdd")
+	ssdM := cfg.Obs.DeviceMetrics("ssd")
+	diskQM := cfg.Obs.QueueMetrics("iosched.hdd")
+	ssdQM := cfg.Obs.QueueMetrics("iosched.ssd")
+	bridgeM := cfg.Obs.BridgeMetrics()
+	if em := cfg.Obs.EngineMetrics(); em != nil {
+		e.SetProbe(em)
+	}
 	// Per-component generators are derived independently of cluster
 	// mode so that e.g. disk i draws the same rotational latencies in
 	// stock and iBridge runs — A/B comparisons differ only in
@@ -137,20 +157,34 @@ func New(cfg Config) (*Cluster, error) {
 			tracer = col
 		}
 		disk := hdd.New(e, fmt.Sprintf("hdd%d", i), cfg.HDD, componentRNG(1, i))
+		if hddM != nil {
+			disk.SetProbe(hddM)
+		}
 		c.Disks = append(c.Disks, disk)
 		diskQ := iosched.New(e, disk, iosched.DiskDefaults(), tracer)
+		diskQ.SetMetrics(diskQM)
 		switch cfg.Mode {
 		case Stock:
 			stores[i] = pfs.NewDiskStore(diskQ)
 		case SSDOnly:
 			sd := ssd.New(e, fmt.Sprintf("ssd%d", i), cfg.SSD)
+			if ssdM != nil {
+				sd.SetProbe(ssdM)
+			}
 			c.SSDs = append(c.SSDs, sd)
-			stores[i] = pfs.NewSSDStore(iosched.New(e, sd, iosched.SSDDefaults(), tracer))
+			sq := iosched.New(e, sd, iosched.SSDDefaults(), tracer)
+			sq.SetMetrics(ssdQM)
+			stores[i] = pfs.NewSSDStore(sq)
 		case IBridge:
 			sd := ssd.New(e, fmt.Sprintf("ssd%d", i), cfg.SSD)
+			if ssdM != nil {
+				sd.SetProbe(ssdM)
+			}
 			c.SSDs = append(c.SSDs, sd)
 			ssdQ := iosched.New(e, sd, iosched.SSDDefaults(), nil)
+			ssdQ.SetMetrics(ssdQM)
 			b := core.NewBridge(e, cfg.IBridge, i, disk, diskQ, ssdQ, c.Exchange, componentRNG(2, i))
+			b.SetObs(bridgeM, tr, run)
 			c.Bridges = append(c.Bridges, b)
 			stores[i] = b
 		}
@@ -161,6 +195,25 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	if c.Exchange != nil {
+		// The T_i telemetry hook rides the metadata-server broadcast
+		// tick: each broadcast snapshots the T vector plus the bridges'
+		// cumulative decision counters. Installed before Start so the
+		// first tick is observed.
+		if ts := cfg.Obs.TiSampler(fmt.Sprintf("run%d-%s", run, cfg.Mode)); ts != nil {
+			bridges := c.Bridges
+			c.Exchange.SetSampler(func(now sim.Time, view []float64) {
+				var snap obs.TiSnapshot
+				for _, b := range bridges {
+					st := b.Stats()
+					snap.BoostedOffloads += st.BoostedOffloads
+					snap.PlainOffloads += st.PlainOffloads
+					snap.Hits += st.Hits
+					snap.Misses += st.Misses
+					snap.Evictions += st.Evictions
+				}
+				ts.Sample(now, view, snap)
+			})
+		}
 		c.Exchange.Start()
 	}
 	fs, err := pfs.NewFileSystem(e, pfs.Config{
@@ -170,6 +223,9 @@ func New(cfg Config) (*Cluster, error) {
 	}, stores)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		fs.SetObs(cfg.Obs.PFSMetrics(), tr, run)
 	}
 	c.FS = fs
 	return c, nil

@@ -6,6 +6,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/hdd"
 	"repro/internal/iosched"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 )
@@ -39,6 +40,22 @@ type Bridge struct {
 	journal journal
 
 	stats Stats
+
+	// Observability sinks; all nil when disabled, so the hot path pays
+	// one branch per decision point.
+	m    *obs.BridgeMetrics
+	tr   *obs.Tracer
+	run  int32
+	comp string
+}
+
+// SetObs installs the observability sinks (either may be nil). run
+// labels the cluster instance in trace output. Call before the
+// simulation runs.
+func (b *Bridge) SetObs(m *obs.BridgeMetrics, tr *obs.Tracer, run int32) {
+	b.m = m
+	b.tr = tr
+	b.run = run
 }
 
 type stageItem struct {
@@ -68,6 +85,7 @@ func NewBridge(e *sim.Engine, cfg Config, serverID int, disk *hdd.Disk, diskQ, s
 		trk:    newTracker(disk, cfg.EWMAOld, cfg.EWMANew),
 		exch:   exch,
 		alloc:  newLogAlloc(cfg.SSDCapacity/device.SectorSize, cfg.LogStructured, rng),
+		comp:   fmt.Sprintf("bridge%d", serverID),
 	}
 	if exch != nil {
 		exch.Register(b)
@@ -128,14 +146,34 @@ func classify(r *pfs.IORequest) Class {
 }
 
 // evalReturn computes T_ret (or T_ret_frag for fragments) in seconds for
-// request r arriving now.
-func (b *Bridge) evalReturn(r *pfs.IORequest) float64 {
+// request r arriving now, alongside the Eq. (3) magnification component
+// of it (0 when this server is not the parent's bottleneck).
+func (b *Bridge) evalReturn(r *pfs.IORequest) (ret, boost float64) {
 	req := r.Request()
-	ret := b.trk.hypothetical(req) - b.trk.T()
+	ret = b.trk.hypothetical(req) - b.trk.T()
 	if r.Fragment && b.cfg.Magnification && b.exch != nil {
-		ret += magnification(b.trk.T(), b.server, r.Siblings, b.exch.View())
+		boost = magnification(b.trk.T(), b.server, r.Siblings, b.exch.View())
+		ret += boost
 	}
-	return ret
+	return ret, boost
+}
+
+// countOffload records one committed positive-return redirect, split by
+// whether the Eq. (3) boost contributed.
+func (b *Bridge) countOffload(ret, boost float64) {
+	if boost > 0 {
+		b.stats.BoostedOffloads++
+	} else {
+		b.stats.PlainOffloads++
+	}
+	if b.m != nil {
+		if boost > 0 {
+			b.m.BoostedOffloads.Inc()
+		} else {
+			b.m.PlainOffloads.Inc()
+		}
+		b.m.Return.Observe(ret * 1e3)
+	}
 }
 
 // Serve implements pfs.Store.
@@ -157,40 +195,70 @@ func (b *Bridge) serveRead(p *sim.Proc, r *pfs.IORequest) {
 		b.stats.Hits++
 		b.stats.SSDReadBytes += r.Bytes
 		b.trk.servedAtSSD()
+		if b.m != nil {
+			b.m.Hits.Inc()
+		}
+		if b.tr != nil {
+			b.tr.Instant(p.Now(), b.run, b.comp, "ssd-hit", r.ID)
+		}
 		return
 	}
 	b.stats.Misses++
+	if b.m != nil {
+		b.m.Misses.Inc()
+	}
 	// Any dirty cached pieces must come from the SSD even on a miss.
 	for _, s := range b.table.dirtyOverlaps(r.LBN, r.Sectors) {
 		b.ssdQ.Submit(p, device.Request{Op: device.Read, LBN: s.ssdLBN, Sectors: s.n})
 	}
 	candidate := r.Fragment || r.Random
-	var ret float64
+	var ret, boost float64
 	if candidate {
-		ret = b.evalReturn(r)
+		ret, boost = b.evalReturn(r)
 	}
 	req := r.Request()
 	b.diskQ.Submit(p, req)
 	b.trk.servedAtDisk(req)
 	b.stats.DiskReadBytes += r.Bytes
+	if b.tr != nil {
+		b.tr.Instant(p.Now(), b.run, b.comp, "disk-read", r.ID)
+	}
 	// The data is now in memory; if redirecting it would have paid off,
 	// stage it into the SSD during the next idle period so future runs
 	// hit (Section II-B's read path).
 	if candidate && ret > 0 && len(b.stage) < b.cfg.StageQueueMax {
 		b.stage = append(b.stage, stageItem{lbn: r.LBN, sectors: r.Sectors, ret: ret, class: classify(r)})
+		b.countOffload(ret, boost)
+		if b.tr != nil {
+			b.tr.Instant(p.Now(), b.run, b.comp, "stage-queued", r.ID)
+		}
 	}
 }
 
 func (b *Bridge) serveWrite(p *sim.Proc, r *pfs.IORequest) {
 	candidate := r.Fragment || r.Random
 	if candidate {
-		if ret := b.evalReturn(r); ret > 0 {
+		if ret, boost := b.evalReturn(r); ret > 0 {
 			if b.writeToSSD(p, r, ret, classify(r)) {
 				b.trk.servedAtSSD()
 				b.stats.SSDWriteBytes += r.Bytes
+				b.countOffload(ret, boost)
+				if b.tr != nil {
+					name := "ssd-offload"
+					if boost > 0 {
+						name = "ssd-offload-boosted"
+					}
+					b.tr.Instant(p.Now(), b.run, b.comp, name, r.ID)
+				}
 				return
 			}
 			b.stats.Rejections++
+			if b.m != nil {
+				b.m.Rejections.Inc()
+			}
+			if b.tr != nil {
+				b.tr.Instant(p.Now(), b.run, b.comp, "ssd-reject", r.ID)
+			}
 		}
 	}
 	// Disk path: anything cached for this range is now stale.
@@ -199,6 +267,9 @@ func (b *Bridge) serveWrite(p *sim.Proc, r *pfs.IORequest) {
 	b.diskQ.Submit(p, req)
 	b.trk.servedAtDisk(req)
 	b.stats.DiskWriteBytes += r.Bytes
+	if b.tr != nil {
+		b.tr.Instant(p.Now(), b.run, b.comp, "disk-write", r.ID)
+	}
 }
 
 // writeToSSD admits a write into the cache: evicts within the class
@@ -238,8 +309,12 @@ func (b *Bridge) admit(e *entry) {
 	b.retSum[e.class] += e.ret
 	b.retCnt[e.class]++
 	b.stats.Admissions[e.class]++
-	if u := (b.usage[0] + b.usage[1]) * device.SectorSize; u > b.stats.PeakUsage {
+	u := (b.usage[0] + b.usage[1]) * device.SectorSize
+	if u > b.stats.PeakUsage {
 		b.stats.PeakUsage = u
+	}
+	if b.m != nil {
+		b.m.Occupancy.Set(u)
 	}
 }
 
@@ -260,6 +335,9 @@ func (b *Bridge) makeRoom(p *sim.Proc, c Class, need int64) bool {
 		}
 		b.dropEntry(victim)
 		b.stats.Evictions++
+		if b.m != nil {
+			b.m.Evictions.Inc()
+		}
 	}
 	return true
 }
@@ -325,6 +403,9 @@ func (b *Bridge) writebackEntry(p *sim.Proc, e *entry) {
 	e.dirty = false
 	b.journal.clean(e)
 	b.stats.WritebackBytes += e.sectors * device.SectorSize
+	if b.m != nil {
+		b.m.Writebacks.Inc()
+	}
 }
 
 // idle reports whether both devices have been quiet long enough for
@@ -380,6 +461,12 @@ func (b *Bridge) stageOne(p *sim.Proc, it stageItem) {
 	e.spanAt, e.spanN = at, need
 	b.admit(e)
 	b.stats.StagedBytes += it.sectors * device.SectorSize
+	if b.m != nil {
+		b.m.Stages.Inc()
+	}
+	if b.tr != nil {
+		b.tr.Instant(p.Now(), b.run, b.comp, "staged", 0)
+	}
 }
 
 // writebackPass writes back up to batch dirty extents in ascending LBN

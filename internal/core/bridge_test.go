@@ -355,7 +355,10 @@ func TestMagnificationChangesDecision(t *testing.T) {
 		if raw > 0 {
 			t.Fatalf("raw return %v unexpectedly positive", raw)
 		}
-		boosted := b0.evalReturn(r)
+		boosted, boost := b0.evalReturn(r)
+		if boost <= 0 {
+			t.Errorf("expected a positive Eq. (3) boost, got %v", boost)
+		}
 		if boosted <= raw {
 			t.Errorf("magnification did not raise return: raw %v, boosted %v", raw, boosted)
 		}
@@ -364,8 +367,8 @@ func TestMagnificationChangesDecision(t *testing.T) {
 		}
 		// With magnification disabled the boost disappears.
 		b0.cfg.Magnification = false
-		if got := b0.evalReturn(r); got != raw {
-			t.Errorf("ablation: return = %v, want raw %v", got, raw)
+		if got, gotBoost := b0.evalReturn(r); got != raw || gotBoost != 0 {
+			t.Errorf("ablation: return = %v boost = %v, want raw %v and no boost", got, gotBoost, raw)
 		}
 	})
 }

@@ -124,6 +124,10 @@ type Stats struct {
 	Admissions [2]int64 // per Class
 	Evictions  int64
 	Rejections int64 // positive-return requests that could not fit
+	// Offload decisions split by whether the Eq. (3) striping
+	// magnification contributed to the positive return.
+	BoostedOffloads int64
+	PlainOffloads   int64
 	// Background traffic.
 	StagedBytes    int64
 	WritebackBytes int64
@@ -163,6 +167,8 @@ func (s *Stats) Add(other *Stats) {
 	}
 	s.Evictions += other.Evictions
 	s.Rejections += other.Rejections
+	s.BoostedOffloads += other.BoostedOffloads
+	s.PlainOffloads += other.PlainOffloads
 	s.StagedBytes += other.StagedBytes
 	s.WritebackBytes += other.WritebackBytes
 	s.PeakUsage += other.PeakUsage

@@ -57,7 +57,14 @@ type Exchange struct {
 	bridges []*Bridge
 	view    []float64
 	started bool
+	// sampler, when non-nil, observes each broadcast (the T_i telemetry
+	// hook); it must not mutate the view or block.
+	sampler func(now sim.Time, view []float64)
 }
+
+// SetSampler installs a broadcast observer (nil disables). Call before
+// Start.
+func (x *Exchange) SetSampler(fn func(now sim.Time, view []float64)) { x.sampler = fn }
 
 // NewExchange returns an exchange with the given broadcast period.
 func NewExchange(e *sim.Engine, period sim.Duration) *Exchange {
@@ -90,6 +97,9 @@ func (x *Exchange) Start() {
 			p.Sleep(x.period)
 			for i, b := range x.bridges {
 				x.view[i] = b.T()
+			}
+			if x.sampler != nil {
+				x.sampler(p.Now(), x.view)
 			}
 		}
 	})

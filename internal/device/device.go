@@ -81,6 +81,18 @@ type Device interface {
 	Capacity() int64
 }
 
+// Probe observes completed device requests with the service time split
+// into its positioning and transfer components (the seek-vs-transfer
+// decomposition behind the paper's Eq. 1). Implemented by
+// obs.DeviceMetrics; a nil Probe disables observation at the cost of a
+// single branch per request.
+//
+// Probes run inline in the serving process after the request's virtual
+// time has elapsed; they must not block or mutate simulation state.
+type Probe interface {
+	ObserveIO(r Request, position, transfer sim.Duration)
+}
+
 // Stats accumulates device service statistics.
 type Stats struct {
 	Ops      [2]int64     // per Op

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // renderAt runs one experiment at smoke scale under the given jobs
@@ -30,6 +34,50 @@ func TestRenderDeterministicAcrossRuns(t *testing.T) {
 		if first != second {
 			t.Errorf("%s: two runs with the same seed rendered different tables:\n--- first ---\n%s\n--- second ---\n%s",
 				id, first, second)
+		}
+	}
+}
+
+// TestRenderDeterministicUnderObservability checks the zero-perturbation
+// half of the observability contract: enabling the full instrumentation
+// stack (metrics + tracing + T_i sampling) must render byte-identical
+// tables to a bare run. Probes only read simulation state, so the event
+// order — and therefore every measured quantity — may not shift.
+func TestRenderDeterministicUnderObservability(t *testing.T) {
+	defer SetObs(nil)
+	defer runner.SetJobs(0)
+	for _, id := range []string{"fig2b", "fig12"} {
+		SetObs(nil)
+		bare := renderAt(t, id, 0)
+
+		set := obs.New(obs.Config{Metrics: true, Trace: true, SampleEvery: 100 * sim.Millisecond})
+		SetObs(set)
+		observed := renderAt(t, id, 0)
+
+		if bare != observed {
+			t.Errorf("%s: observability changed the rendered table:\n--- bare ---\n%s\n--- observed ---\n%s",
+				id, bare, observed)
+		}
+		// The instrumented run must actually have produced telemetry —
+		// otherwise the identity above proves nothing.
+		if set.Tracer().Len() == 0 {
+			t.Errorf("%s: instrumented run recorded no trace events", id)
+		}
+		if len(set.Registry().Snapshot()) == 0 {
+			t.Errorf("%s: instrumented run registered no metrics", id)
+		}
+		var buf bytes.Buffer
+		if err := set.Tracer().WriteChrome(&buf); err != nil {
+			t.Fatalf("%s: WriteChrome: %v", id, err)
+		}
+		var chrome struct {
+			TraceEvents []map[string]interface{} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &chrome); err != nil {
+			t.Fatalf("%s: trace output is not valid JSON: %v", id, err)
+		}
+		if len(chrome.TraceEvents) == 0 {
+			t.Errorf("%s: Chrome trace export is empty", id)
 		}
 	}
 }

@@ -14,8 +14,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -129,12 +131,26 @@ func List() []string {
 	return ids
 }
 
+// currentObs is the observability sink every experiment cluster wires in
+// (nil = disabled). Held in an atomic pointer because the parallel runner
+// executes experiments concurrently with a caller installing the set.
+var currentObs atomic.Pointer[obs.Set]
+
+// SetObs installs the observability sink used by all subsequently built
+// experiment clusters (nil disables). Probes only read state, so results
+// are byte-identical with or without a sink (see determinism_test.go).
+func SetObs(s *obs.Set) { currentObs.Store(s) }
+
+// CurrentObs returns the installed observability sink, or nil.
+func CurrentObs() *obs.Set { return currentObs.Load() }
+
 // baseConfig returns the evaluation-platform cluster configuration at the
 // given mode and scale.
 func baseConfig(s Scale, mode cluster.Mode) cluster.Config {
 	cfg := cluster.DefaultConfig()
 	cfg.Mode = mode
 	cfg.IBridge.SSDCapacity = s.SSDBytes
+	cfg.Obs = CurrentObs()
 	return cfg
 }
 

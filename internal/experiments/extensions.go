@@ -99,7 +99,7 @@ func extCollective(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []string{cs.name, fmt.Sprintf("%.2f", io.Seconds()), fmt.Sprintf("%dMB", bytes >> 20)}, nil
+		return []string{cs.name, fmt.Sprintf("%.2f", io.Seconds()), fmt.Sprintf("%dMB", bytes>>20)}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -181,7 +181,7 @@ func extSieving(s Scale) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []string{name, fmt.Sprintf("%.2f", el.Seconds()), fmt.Sprintf("%dMB", bytes >> 20)}, nil
+		return []string{name, fmt.Sprintf("%.2f", el.Seconds()), fmt.Sprintf("%dMB", bytes>>20)}, nil
 	})
 	if err != nil {
 		return nil, err

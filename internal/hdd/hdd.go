@@ -82,7 +82,11 @@ type Disk struct {
 	stats     device.Stats
 	idleSince sim.Time
 	inFlight  int
+	probe     device.Probe
 }
+
+// SetProbe installs an observer for served requests (nil disables).
+func (d *Disk) SetProbe(p device.Probe) { d.probe = p }
 
 // New returns a disk with the given spec. The rng seeds the rotational
 // latency draws; the same seed reproduces the same run exactly.
@@ -219,6 +223,9 @@ func (d *Disk) Serve(p *sim.Proc, r device.Request) sim.Duration {
 	d.inFlight--
 	if d.inFlight == 0 {
 		d.idleSince = p.Now()
+	}
+	if d.probe != nil {
+		d.probe.ObserveIO(r, pos, xfer)
 	}
 	d.mu.Release()
 	return t

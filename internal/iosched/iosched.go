@@ -14,6 +14,7 @@ package iosched
 
 import (
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -154,7 +155,14 @@ type Queue struct {
 	sliceCount int
 	idled      bool
 	stats      Stats
+	// m, when non-nil, mirrors the scheduler statistics into the
+	// observability registry (latency histogram, depth gauge). The nil
+	// check per update is the entire disabled-path cost.
+	m *obs.QueueMetrics
 }
+
+// SetMetrics installs an observability bundle (nil disables).
+func (q *Queue) SetMetrics(m *obs.QueueMetrics) { q.m = m }
 
 // New returns a scheduler queue feeding dev.
 func New(e *sim.Engine, dev device.Device, cfg Config, tracer Tracer) *Queue {
@@ -191,6 +199,10 @@ func (q *Queue) Submit(p *sim.Proc, r device.Request) sim.Duration {
 	p.Block()
 	lat := p.Now().Sub(start)
 	q.stats.WaitTime += lat
+	if q.m != nil {
+		q.m.Submitted.Inc()
+		q.m.Wait.ObserveDur(lat)
+	}
 	return lat
 }
 
@@ -205,12 +217,18 @@ func (q *Queue) place(r device.Request) *unit {
 			if u.req.Contiguous(r) { // back merge: r extends u
 				u.req.Sectors += r.Sectors
 				q.stats.BackMerges++
+				if q.m != nil {
+					q.m.BackMerges.Inc()
+				}
 				return u
 			}
 			if r.Contiguous(u.req) { // front merge: r precedes u
 				u.req.LBN = r.LBN
 				u.req.Sectors += r.Sectors
 				q.stats.FrontMerges++
+				if q.m != nil {
+					q.m.FrontMerges.Inc()
+				}
 				return u
 			}
 		}
@@ -313,6 +331,10 @@ func (q *Queue) drain(p *sim.Proc) {
 		}
 		q.stats.DepthSum += int64(len(q.pending) + 1)
 		q.stats.Dispatches++
+		if q.m != nil {
+			q.m.Dispatches.Inc()
+			q.m.Depth.Set(int64(len(q.pending) + 1))
+		}
 		if q.tracer != nil {
 			q.tracer.Dispatch(p.Now(), u.req)
 		}

@@ -1,0 +1,15 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar exposes the registry under the given expvar name: a
+// single JSON map of every metric's current value, served at
+// /debug/vars by any net/http server using the default mux (the
+// cmd/pfs-server -debug-addr endpoint). Snapshot is taken per request,
+// so values are always live. Publishing the same name twice panics, as
+// with expvar.Publish.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() interface{} {
+		return r.Snapshot()
+	}))
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Level orders logger verbosity.
+type Level int
+
+// Logger levels: Quiet suppresses everything, Info is the default
+// operator-facing level, Debug adds per-step diagnostics.
+const (
+	LevelQuiet Level = iota
+	LevelInfo
+	LevelDebug
+)
+
+// Logger is a minimal leveled logger for the command-line tools. It
+// exists so diagnostic chatter (timings, progress) has a switchable
+// channel separate from the byte-stable result streams: results go to
+// stdout (and -out files), the logger writes to stderr. A nil *Logger
+// is valid and discards everything.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing to w at the given level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Infof logs at Info level (operator-facing summaries).
+func (l *Logger) Infof(format string, args ...interface{}) { l.logf(LevelInfo, format, args...) }
+
+// Debugf logs at Debug level (per-step diagnostics, enabled by -v).
+func (l *Logger) Debugf(format string, args ...interface{}) { l.logf(LevelDebug, format, args...) }
+
+func (l *Logger) logf(at Level, format string, args ...interface{}) {
+	if l == nil || l.level < at {
+		return
+	}
+	l.mu.Lock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+	l.mu.Unlock()
+}

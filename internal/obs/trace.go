@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Event is one trace record: a span (Dur > 0 or a completed interval)
+// or an instant marker, stamped with the virtual time, the run (cluster
+// instance) it belongs to, the component that emitted it, and the
+// parent-request id it pertains to (0 when not request-scoped).
+type Event struct {
+	TS   sim.Time
+	Dur  sim.Duration
+	Run  int32
+	Comp string
+	Name string
+	ID   int64
+	Span bool
+}
+
+// Tracer records request-flow events. Recording takes a mutex and an
+// amortized slice append; the buffer is bounded and overflow is counted
+// rather than grown without limit.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	max     int
+	dropped int64
+}
+
+// DefaultMaxEvents bounds the tracer buffer when Config.MaxTraceEvents
+// is zero.
+const DefaultMaxEvents = 1 << 20
+
+// NewTracer returns a tracer buffering up to max events (0 uses
+// DefaultMaxEvents).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	return &Tracer{max: max}
+}
+
+// Span records a completed interval that started at ts and lasted dur.
+func (t *Tracer) Span(ts sim.Time, dur sim.Duration, run int32, comp, name string, id int64) {
+	t.record(Event{TS: ts, Dur: dur, Run: run, Comp: comp, Name: name, ID: id, Span: true})
+}
+
+// Instant records a point event at ts.
+func (t *Tracer) Instant(ts sim.Time, run int32, comp, name string, id int64) {
+	t.record(Event{TS: ts, Run: run, Comp: comp, Name: name, ID: id})
+}
+
+func (t *Tracer) record(ev Event) {
+	t.mu.Lock()
+	if len(t.events) >= t.max {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns the number of events lost to the buffer bound.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot returns the events sorted by (Run, TS, ID) — a deterministic
+// order even when concurrent simulations interleaved their appends.
+func (t *Tracer) snapshot() []Event {
+	t.mu.Lock()
+	evs := make([]Event, len(t.events))
+	copy(evs, t.events)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Run != evs[j].Run {
+			return evs[i].Run < evs[j].Run
+		}
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].ID < evs[j].ID
+	})
+	return evs
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON format
+// (https://chromium.googlesource.com/catapult trace-viewer), consumable
+// by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	Dur   *float64               `json:"dur,omitempty"`
+	Pid   int32                  `json:"pid"`
+	Tid   int32                  `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome emits the buffered events as Chrome trace_event JSON.
+// Spans become complete ("X") events and instants become thread-scoped
+// instant ("i") events; runs map to pids and components to tids, with
+// metadata events naming both.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := t.snapshot()
+	out := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{}
+
+	type lane struct {
+		run  int32
+		comp string
+	}
+	tids := map[lane]int32{}
+	runs := map[int32]bool{}
+	for _, ev := range evs {
+		if !runs[ev.Run] {
+			runs[ev.Run] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Phase: "M", Pid: ev.Run,
+				Args: map[string]interface{}{"name": fmt.Sprintf("run %d", ev.Run)},
+			})
+		}
+		l := lane{ev.Run, ev.Comp}
+		tid, ok := tids[l]
+		if !ok {
+			tid = int32(len(tids) + 1)
+			tids[l] = tid
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", Pid: ev.Run, Tid: tid,
+				Args: map[string]interface{}{"name": ev.Comp},
+			})
+		}
+		ce := chromeEvent{
+			Name: ev.Name,
+			TS:   float64(ev.TS) / 1e3, // ns → µs
+			Pid:  ev.Run,
+			Tid:  tid,
+		}
+		if ev.ID != 0 {
+			ce.Args = map[string]interface{}{"req": ev.ID}
+		}
+		if ev.Span {
+			ce.Phase = "X"
+			d := float64(ev.Dur) / 1e3
+			ce.Dur = &d
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTimeline emits a compact text timeline: one line per event in
+// virtual-time order, grouped by run. limit bounds the number of lines
+// (0 = all); a trailing line reports anything elided or dropped.
+func (t *Tracer) WriteTimeline(w io.Writer, limit int) {
+	evs := t.snapshot()
+	n := len(evs)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	fmt.Fprintf(w, "-- trace timeline (%d events) --\n", len(evs))
+	for _, ev := range evs[:n] {
+		id := ""
+		if ev.ID != 0 {
+			id = fmt.Sprintf(" req=%d", ev.ID)
+		}
+		if ev.Span {
+			fmt.Fprintf(w, "[run%d %12v] %-12s %-16s dur=%v%s\n",
+				ev.Run, ev.TS, ev.Comp, ev.Name, ev.Dur, id)
+		} else {
+			fmt.Fprintf(w, "[run%d %12v] %-12s %-16s%s\n",
+				ev.Run, ev.TS, ev.Comp, ev.Name, id)
+		}
+	}
+	if elided := len(evs) - n; elided > 0 {
+		fmt.Fprintf(w, "... %d more events\n", elided)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(w, "... %d events dropped (buffer bound)\n", d)
+	}
+}

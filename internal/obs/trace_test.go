@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTracerRecordAndTimeline(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Span(sim.Time(sim.Millisecond), 2*sim.Millisecond, 1, "client", "read", 7)
+	tr.Instant(2*sim.Time(sim.Millisecond), 1, "bridge0", "ssd-hit", 7)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	var sb strings.Builder
+	tr.WriteTimeline(&sb, 0)
+	out := sb.String()
+	for _, want := range []string{"read", "ssd-hit", "req=7", "dur=2.000ms", "run1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerBufferBound(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Instant(sim.Time(i), 1, "c", "e", int64(i))
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", tr.Dropped())
+	}
+	var sb strings.Builder
+	tr.WriteTimeline(&sb, 0)
+	if !strings.Contains(sb.String(), "3 events dropped") {
+		t.Errorf("timeline must report drops:\n%s", sb.String())
+	}
+}
+
+func TestTracerTimelineLimit(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 10; i++ {
+		tr.Instant(sim.Time(i), 1, "c", "e", 0)
+	}
+	var sb strings.Builder
+	tr.WriteTimeline(&sb, 3)
+	if !strings.Contains(sb.String(), "7 more events") {
+		t.Errorf("timeline must report elision:\n%s", sb.String())
+	}
+}
+
+// TestTracerChromeJSON validates the trace_event export: parseable
+// JSON, the documented top-level shape, phase/ts/dur semantics, and
+// metadata events naming runs and components.
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Span(sim.Time(sim.Millisecond), 2*sim.Millisecond, 1, "client", "read", 7)
+	tr.Instant(2*sim.Time(sim.Millisecond), 1, "bridge0", "ssd-hit", 7)
+	tr.Span(0, sim.Microsecond, 2, "client", "write", 1)
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string                 `json:"name"`
+			Phase string                 `json:"ph"`
+			TS    float64                `json:"ts"`
+			Dur   float64                `json:"dur"`
+			Pid   int32                  `json:"pid"`
+			Tid   int32                  `json:"tid"`
+			Args  map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	var spans, instants, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			spans++
+			if ev.Name == "read" {
+				if ev.TS != 1000 || ev.Dur != 2000 {
+					t.Errorf("read span ts/dur = %g/%g µs, want 1000/2000", ev.TS, ev.Dur)
+				}
+				if ev.Pid != 1 {
+					t.Errorf("read span pid = %d, want run 1", ev.Pid)
+				}
+				if ev.Args["req"] != float64(7) {
+					t.Errorf("read span args = %v", ev.Args)
+				}
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+	}
+	if spans != 2 || instants != 1 {
+		t.Errorf("spans/instants = %d/%d, want 2/1", spans, instants)
+	}
+	// 2 runs + 3 lanes (client@1, bridge0@1, client@2) named.
+	if meta != 5 {
+		t.Errorf("metadata events = %d, want 5", meta)
+	}
+}

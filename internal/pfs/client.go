@@ -74,6 +74,12 @@ func (c *Client) request(p *sim.Proc, f *File, op device.Op, off, length int64) 
 	}
 	random := c.RandomThreshold > 0 && length < c.RandomThreshold
 
+	var reqID int64
+	if c.fs.tr != nil {
+		c.fs.nextReq++
+		reqID = c.fs.nextReq
+	}
+
 	done := sim.NewCounter(c.fs.e, len(subs))
 	net := c.fs.net
 	for i := range subs {
@@ -81,6 +87,7 @@ func (c *Client) request(p *sim.Proc, f *File, op device.Op, off, length int64) 
 		req := &IORequest{
 			Op:       op,
 			FileID:   f.ID,
+			ID:       reqID,
 			Bytes:    sub.Length,
 			Fragment: sub.Fragment,
 			Siblings: sub.Siblings,
@@ -121,10 +128,29 @@ func (c *Client) request(p *sim.Proc, f *File, op device.Op, off, length int64) 
 	st.Bytes[op] += length
 	st.Latency += lat
 	st.SubCount += int64(len(subs))
+	frags := int64(0)
 	for _, s := range subs {
 		if s.Fragment {
-			st.Fragments++
+			frags++
 		}
 	}
+	st.Fragments += frags
+	if c.fs.m != nil {
+		c.fs.m.Requests.Inc()
+		c.fs.m.SubRequests.Add(int64(len(subs)))
+		c.fs.m.Fragments.Add(frags)
+		c.fs.m.Parent.ObserveDur(lat)
+	}
+	if c.fs.tr != nil {
+		c.fs.tr.Span(start, lat, c.fs.run, "client", opName(op), reqID)
+	}
 	return lat
+}
+
+// opName returns a static label for op (no per-request formatting).
+func opName(op device.Op) string {
+	if op == device.Read {
+		return "read"
+	}
+	return "write"
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stripe"
 )
@@ -22,8 +23,12 @@ import (
 // IORequest is one sub-request as seen by a data server's storage stack,
 // already translated to the server's block address space.
 type IORequest struct {
-	Op      device.Op
-	FileID  int
+	Op     device.Op
+	FileID int
+	// ID identifies the parent file request this sub-request belongs
+	// to, for request-flow tracing; all sub-requests of one parent
+	// share it. Zero when tracing is off.
+	ID      int64
 	LBN     int64 // first sector on the server's disk
 	Sectors int64
 	Bytes   int64 // exact byte length before sector rounding
@@ -112,6 +117,26 @@ type FileSystem struct {
 	files   map[string]*File
 	nextID  int
 	stats   Stats
+
+	// Observability (nil when off): request counters/latency histograms,
+	// request-flow tracer, and the run id tagging trace events.
+	m       *obs.PFSMetrics
+	tr      *obs.Tracer
+	run     int32
+	nextReq int64 // parent request id source (only advanced when tracing)
+}
+
+// SetObs installs the observability sinks (any may be nil). Call before
+// issuing requests; it propagates the tracer to the data servers.
+func (fs *FileSystem) SetObs(m *obs.PFSMetrics, tr *obs.Tracer, run int32) {
+	fs.m = m
+	fs.tr = tr
+	fs.run = run
+	for _, srv := range fs.servers {
+		srv.m = m
+		srv.tr = tr
+		srv.run = run
+	}
 }
 
 // Stats aggregates client-observed request statistics.

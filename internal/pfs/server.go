@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,12 @@ type Server struct {
 	capacity int64
 
 	served int64
+
+	// Observability sinks, installed by FileSystem.SetObs (nil when off).
+	m    *obs.PFSMetrics
+	tr   *obs.Tracer
+	run  int32
+	comp string
 }
 
 type job struct {
@@ -44,6 +51,7 @@ func newServer(e *sim.Engine, id int, store Store, handlers int) *Server {
 		handlers: handlers,
 		nextLBN:  allocGap,
 		capacity: 1 << 31, // sectors; 1 TB per server
+		comp:     fmt.Sprintf("srv%d", id),
 	}
 	for h := 0; h < handlers; h++ {
 		e.Go(fmt.Sprintf("srv%d-h%d", id, h), s.handle)
@@ -86,8 +94,36 @@ func (s *Server) handle(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		start := p.Now()
 		s.store.Serve(p, j.req)
+		if s.m != nil {
+			s.m.SubServe.ObserveDur(p.Now().Sub(start))
+		}
+		if s.tr != nil {
+			s.tr.Span(start, p.Now().Sub(start), s.run, s.comp, flowName(j.req), j.req.ID)
+		}
 		s.served++
 		j.done()
 	}
+}
+
+// flowName labels a sub-request's serve span with a static string (no
+// per-request formatting on the traced path).
+func flowName(r *IORequest) string {
+	if r.Op == device.Read {
+		if r.Fragment {
+			return "read-frag"
+		}
+		if r.Random {
+			return "read-rand"
+		}
+		return "read"
+	}
+	if r.Fragment {
+		return "write-frag"
+	}
+	if r.Random {
+		return "write-rand"
+	}
+	return "write"
 }

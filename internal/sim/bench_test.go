@@ -70,6 +70,30 @@ func BenchmarkEngineProcPingPong(b *testing.B) {
 	b.ReportMetric(float64(4*rounds)/b.Elapsed().Seconds(), "events/sec")
 }
 
+// TestEngineHotPathAllocFree is the alloc regression guard for the
+// zero-cost-when-off observability contract: with no probe installed the
+// event loop must not allocate per event. It runs the timer-wheel and
+// many-procs benchmarks through testing.Benchmark and fails on any
+// reported allocation.
+func TestEngineHotPathAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	for _, bm := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"TimerWheel", BenchmarkEngineTimerWheel},
+		{"ManyProcs", BenchmarkEngineManyProcs},
+	} {
+		res := testing.Benchmark(bm.fn)
+		if allocs := res.AllocsPerOp(); allocs != 0 {
+			t.Errorf("%s: %d allocs/op, want 0 (engine hot path must stay allocation-free with observability off)",
+				bm.name, allocs)
+		}
+	}
+}
+
 // BenchmarkEngineManyProcs measures heap-ordered resume with a realistic
 // process population: 256 processes sleeping deterministic pseudo-random
 // durations, as the cluster's rank/handler/daemon mix does.

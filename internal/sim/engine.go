@@ -36,6 +36,9 @@ type Engine struct {
 	running *Proc
 	halted  bool
 	started bool
+	// probe, when non-nil, observes each event (see Probe). The nil
+	// check is the entire disabled-path cost.
+	probe Probe
 }
 
 type parkKind int
@@ -326,6 +329,9 @@ func (e *Engine) Run() error {
 	for !e.halted && e.pending() > 0 {
 		ev := e.next()
 		e.now = ev.at
+		if e.probe != nil {
+			e.probe.OnEvent(e.now, e.pending())
+		}
 		if ev.fn != nil {
 			ev.fn()
 			continue

@@ -58,7 +58,11 @@ type SSD struct {
 	idleSince    sim.Time
 	inFlight     int
 	bytesWritten int64 // lifetime writes, for wear accounting (Fig. 13)
+	probe        device.Probe
 }
+
+// SetProbe installs an observer for served requests (nil disables).
+func (s *SSD) SetProbe(p device.Probe) { s.probe = p }
 
 // New returns an SSD with the given spec.
 func New(e *sim.Engine, name string, spec Spec) *SSD {
@@ -95,10 +99,11 @@ func (s *SSD) IdleSince() sim.Time {
 	return s.idleSince
 }
 
-// serviceTime computes the model service time of r given the device's
-// current per-op position.
-func (s *SSD) serviceTime(r device.Request) sim.Duration {
-	lat := s.spec.SeqLat
+// serviceParts computes the model service time of r given the device's
+// current per-op position, split into the per-operation latency and the
+// media transfer time.
+func (s *SSD) serviceParts(r device.Request) (lat, xfer sim.Duration) {
+	lat = s.spec.SeqLat
 	if r.LBN != s.lastEnd[r.Op] {
 		if r.Op == device.Read {
 			lat = s.spec.RandReadLat
@@ -110,7 +115,13 @@ func (s *SSD) serviceTime(r device.Request) sim.Duration {
 	if r.Op == device.Write {
 		bw = s.spec.WriteBW
 	}
-	return lat + sim.Duration(float64(r.Bytes())/bw*float64(sim.Second))
+	return lat, sim.Duration(float64(r.Bytes()) / bw * float64(sim.Second))
+}
+
+// serviceTime computes the model service time of r.
+func (s *SSD) serviceTime(r device.Request) sim.Duration {
+	lat, xfer := s.serviceParts(r)
+	return lat + xfer
 }
 
 // EstimateService implements device.Device.
@@ -125,7 +136,8 @@ func (s *SSD) Serve(p *sim.Proc, r device.Request) sim.Duration {
 	}
 	s.inFlight++
 	s.mu.Acquire(p)
-	t := s.serviceTime(r)
+	lat, xfer := s.serviceParts(r)
+	t := lat + xfer
 	p.Sleep(t)
 
 	s.lastEnd[r.Op] = r.End()
@@ -138,6 +150,9 @@ func (s *SSD) Serve(p *sim.Proc, r device.Request) sim.Duration {
 	s.inFlight--
 	if s.inFlight == 0 {
 		s.idleSince = p.Now()
+	}
+	if s.probe != nil {
+		s.probe.ObserveIO(r, lat, xfer)
 	}
 	s.mu.Release()
 	return t

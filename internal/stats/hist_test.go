@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1, 1000, 1)
+	want := []float64{1, 10, 100, 1000}
+	if len(b) != len(want) {
+		t.Fatalf("ExpBounds(1,1000,1) = %v, want %v", b, want)
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("bound %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	fine := ExpBounds(0.01, 1000, 4)
+	for i := 1; i < len(fine); i++ {
+		if fine[i] <= fine[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, fine)
+		}
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist(ExpBounds(1, 100, 2))
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Errorf("empty histogram should report zeros: %s", h.Summary())
+	}
+	if h.Summary() != "n=0" {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistBasicStats(t *testing.T) {
+	h := NewHist(ExpBounds(0.1, 1000, 4))
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("Mean = %g, want 50.5", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("Min/Max = %g/%g, want 1/100", h.Min(), h.Max())
+	}
+	// Quantiles are bucket-interpolated: with 4 buckets per decade the
+	// relative error is bounded by one bucket width (10^(1/4) ≈ 1.78x).
+	checks := []struct{ q, want float64 }{{0.5, 50}, {0.95, 95}, {0.99, 99}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/1.8 || got > c.want*1.8 {
+			t.Errorf("Quantile(%g) = %g, want within a bucket of %g", c.q, got, c.want)
+		}
+	}
+	// Extremes are exact.
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Errorf("Quantile extremes = %g/%g, want 1/100", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistSingleValue(t *testing.T) {
+	h := NewHist(ExpBounds(1, 1000, 2))
+	for i := 0; i < 10; i++ {
+		h.Observe(42)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("Quantile(%g) = %g, want 42 (clamped to observed range)", q, got)
+		}
+	}
+}
+
+func TestHistOverflowBucket(t *testing.T) {
+	h := NewHist([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(1e6) // above the last bound: overflow bucket
+	if h.Max() != 1e6 {
+		t.Errorf("Max = %g, want 1e6", h.Max())
+	}
+	if got := h.Quantile(1); got != 1e6 {
+		t.Errorf("Quantile(1) = %g, want 1e6", got)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	bounds := ExpBounds(1, 100, 2)
+	a, b := NewHist(bounds), NewHist(bounds)
+	for v := 1.0; v <= 50; v++ {
+		a.Observe(v)
+	}
+	for v := 51.0; v <= 100; v++ {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if math.Abs(a.Mean()-50.5) > 1e-9 {
+		t.Errorf("merged Mean = %g, want 50.5", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 100 {
+		t.Errorf("merged Min/Max = %g/%g", a.Min(), a.Max())
+	}
+}
+
+func TestHistMergeBoundsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with different bounds should panic")
+		}
+	}()
+	NewHist([]float64{1, 2}).Merge(NewHist([]float64{1, 3}))
+}
+
+func TestHistRender(t *testing.T) {
+	h := NewHist(ExpBounds(1, 100, 1))
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if s := h.Summary(); !strings.Contains(s, "n=10") {
+		t.Errorf("Summary = %q, missing count", s)
+	}
+	if s := h.RenderBars(); !strings.Contains(s, "100.0%") {
+		t.Errorf("RenderBars = %q, missing single full bucket", s)
+	}
+}
