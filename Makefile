@@ -11,9 +11,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-bearing packages: the parallel experiment
-# runner and the simulation engine it fans out.
+# runner, the simulation engine it fans out, and the pipelined TCP
+# client/server.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/pfsnet/...
 
 vet:
 	$(GO) vet ./...

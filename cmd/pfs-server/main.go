@@ -3,11 +3,19 @@
 // Usage:
 //
 //	pfs-server -listen 127.0.0.1:7001 -ibridge
+//	pfs-server -listen 127.0.0.1:7001 -workers 16
 //	pfs-server -listen 127.0.0.1:7001 -debug-addr 127.0.0.1:7071
+//
+// The server speaks wire protocol v2 (pipelined, multiplexed tagged
+// frames) with v2 clients and falls back to v1 per connection; -workers
+// bounds the per-connection handler pool for pipelined connections, and
+// -max-proto 1 forces legacy single-round-trip behaviour.
 //
 // With -debug-addr the server exposes its metrics registry over expvar:
 // GET http://<debug-addr>/debug/vars returns a JSON map holding the
-// standard expvar keys plus "pfs" (the live server counters).
+// standard expvar keys plus "pfs" (the live server counters and the
+// "pfsnet.server.*" wire metrics: frames, bytes, in-flight depth,
+// queue wait).
 package main
 
 import (
@@ -28,6 +36,8 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
 		ibridge   = flag.Bool("ibridge", false, "enable the iBridge fragment log")
 		dir       = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
+		workers   = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
+		maxProto  = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
 		stats     = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
 		debugAddr = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
 	)
@@ -40,16 +50,22 @@ func main() {
 			log.Fatalf("pfs-server: %v", err)
 		}
 	}
-	ds, err := pfsnet.NewDataServerWithStore(*listen, *ibridge, store)
+	// The registry is shared: the wire layer updates its
+	// "pfsnet.server.*" metrics inline, and the Stats counters are
+	// published as functions read at scrape time.
+	reg := obs.NewRegistry()
+	ds, err := pfsnet.NewDataServerConfig(*listen, pfsnet.ServerConfig{
+		Bridge:   *ibridge,
+		Store:    store,
+		Workers:  *workers,
+		MaxProto: *maxProto,
+		Obs:      reg,
+	})
 	if err != nil {
 		log.Fatalf("pfs-server: %v", err)
 	}
 	log.Printf("pfs-server: serving on %s (iBridge log: %v)", ds.Addr(), *ibridge)
 	if *debugAddr != "" {
-		// Mirror the live server counters into an obs registry and
-		// publish it; gauges registered as functions read ds.Stats() at
-		// scrape time, so /debug/vars is always current.
-		reg := obs.NewRegistry()
 		reg.RegisterFunc("pfs.reads", func() float64 { return float64(ds.Stats().Reads) })
 		reg.RegisterFunc("pfs.writes", func() float64 { return float64(ds.Stats().Writes) })
 		reg.RegisterFunc("pfs.fragment_writes", func() float64 { return float64(ds.Stats().FragmentWrites) })

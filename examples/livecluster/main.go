@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
 
@@ -38,8 +39,13 @@ func main() {
 	fmt.Printf("metadata server on %s\n\n", ms.Addr())
 
 	// An iBridge client: sub-requests below 20 KB that belong to larger
-	// striped parents are flagged as fragments on the wire.
+	// striped parents are flagged as fragments on the wire. All
+	// connections negotiate wire protocol v2, so sub-requests multiplex
+	// over pipelined connections; the obs registry collects the
+	// client-side wire metrics (frames, bytes, in-flight depth).
+	reg := obs.NewRegistry()
 	client := pfsnet.NewIBridgeClient(ms.Addr(), 20*1024, 20*1024)
+	client.Obs = reg
 	defer client.Close()
 
 	f, err := client.Create("demo", 10<<20)
@@ -72,4 +78,7 @@ func main() {
 		fmt.Printf("  server %d: %d writes (%d via fragment log, %d log bytes), %d reads\n",
 			i, st.Writes, st.FragmentWrites, st.LogBytes, st.Reads)
 	}
+
+	fmt.Println("\nclient wire metrics:")
+	fmt.Print(reg.Render())
 }

@@ -209,7 +209,7 @@ func (m *extentMap) covered(lbn, sectors int64) ([]segment, bool) {
 			return nil, false // gap
 		}
 		from := cur
-		to := min64(e.end(), end)
+		to := min(e.end(), end)
 		segs = append(segs, segment{ssdLBN: e.ssdLBN + (from - e.lbn), n: to - from, e: e})
 		cur = to
 		if cur >= end {
@@ -231,8 +231,8 @@ func (m *extentMap) dirtyOverlaps(lbn, sectors int64) []segment {
 		if !e.dirty {
 			continue
 		}
-		from := max64(e.lbn, lbn)
-		to := min64(e.end(), end)
+		from := max(e.lbn, lbn)
+		to := min(e.end(), end)
 		segs = append(segs, segment{ssdLBN: e.ssdLBN + (from - e.lbn), n: to - from, e: e})
 	}
 	return segs
@@ -308,16 +308,4 @@ func (m *extentMap) punch(lbn, sectors int64, addMRU func(*entry)) punched {
 // Len returns the number of cached extents.
 func (m *extentMap) Len() int { return len(m.entries) }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,10 +1,14 @@
 package pfsnet
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stripe"
 )
 
@@ -13,6 +17,13 @@ import (
 // sub-requests (flagging fragments when a threshold is configured), and
 // issues the sub-requests concurrently over a small per-server
 // connection pool.
+//
+// Against v2 peers every pooled connection is pipelined: a single writer
+// goroutine drains a send queue through a corked bufio.Writer (many
+// frames per syscall) and a single reader goroutine demuxes tagged
+// replies to the waiting callers, so any number of sub-requests can be
+// in flight per connection at once. Against v1 peers the client falls
+// back to the legacy one-round-trip-per-connection discipline.
 type Client struct {
 	metaAddr string
 	// FragmentThreshold enables iBridge client-side flagging when > 0.
@@ -20,41 +31,307 @@ type Client struct {
 	// RandomThreshold flags whole small requests as regular random.
 	RandomThreshold int64
 	// PoolSize is the number of connections kept per data server
-	// (default 4): concurrent sub-requests to one server would
-	// otherwise serialize on a single socket.
+	// (default 4). With v2 pipelining each connection multiplexes many
+	// requests; a small pool still helps spread TCP windows and reader
+	// wakeups.
 	PoolSize int
+	// MaxProto caps the wire protocol this client will negotiate
+	// (0 means the latest; 1 forces the legacy protocol).
+	MaxProto int
+	// Obs, when set before the first request, receives wire-level
+	// metrics under "pfsnet.client.*" (frames, bytes, in-flight depth,
+	// send-queue wait).
+	Obs *obs.Registry
 
 	mu   sync.Mutex
+	wm   *wireMetrics
 	meta *conn
 	data map[string][]*conn
 	next map[string]int
 }
 
-// conn is one pooled connection with its own lock (one in-flight request
-// per connection; concurrent sub-requests use distinct per-server
-// connections).
+var errConnClosed = errors.New("pfsnet: connection closed")
+
+// conn is one pooled connection. After version negotiation a v2 conn
+// runs a writer and a reader goroutine and multiplexes tagged calls; a
+// v1 conn serializes one round trip at a time under mu.
 type conn struct {
+	nc  net.Conn
+	ver int
+	wm  *wireMetrics
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	// v1 state: mu is held across a full write+read round trip.
 	mu sync.Mutex
-	c  net.Conn
+
+	// v2 state.
+	sendq   chan *wireCall
+	dead    chan struct{}
+	pendMu  sync.Mutex
+	pending map[uint64]*wireCall
+	nextTag uint64
+	failed  error // set once, under pendMu, when the conn dies
 }
 
-func (c *conn) call(op byte, payload []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeMessage(c.c, op, payload); err != nil {
-		return nil, err
-	}
-	msg, err := readMessage(c.c)
+// wireCall is one in-flight tagged request.
+type wireCall struct {
+	tag     uint64
+	op      byte
+	payload []byte // pooled copy owned by the conn's writer side
+	enq     time.Time // for the queue-wait metric; zero when obs is off
+	done    chan struct{}
+	replyOp byte
+	reply   []byte // pooled; the waiter releases it
+	err     error
+}
+
+const connBufSize = 64 << 10
+
+// dialConn connects to addr and negotiates the protocol version.
+func dialConn(addr string, maxProto int, wm *wireMetrics) (*conn, error) {
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if msg.op == opError {
-		return nil, replyError(msg.payload)
+	c := &conn{
+		nc:  nc,
+		ver: ProtoV1,
+		wm:  wm,
+		br:  bufio.NewReaderSize(nc, connBufSize),
+		bw:  bufio.NewWriterSize(nc, connBufSize),
 	}
-	if msg.op != opOK {
-		return nil, fmt.Errorf("pfsnet: unexpected reply opcode %d", msg.op)
+	if maxProto <= 0 || maxProto > maxProtoVersion {
+		maxProto = maxProtoVersion
 	}
-	return msg.payload, nil
+	if maxProto >= ProtoV2 {
+		if err := c.negotiate(maxProto); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// negotiate sends the opHello and interprets the peer's answer: opOK
+// carries the agreed version, opError means a v1 peer that rejected the
+// unknown opcode (fall back silently).
+func (c *conn) negotiate(maxProto int) error {
+	e := newEnc()
+	e.u32(uint32(maxProto))
+	err := writeFrame(c.bw, ProtoV1, 0, opHello, e.b)
+	putBuf(e.b)
+	if err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	fr, err := readFrame(c.br, ProtoV1)
+	if err != nil {
+		return err
+	}
+	defer fr.release()
+	switch fr.op {
+	case opOK:
+		d := dec{b: fr.payload}
+		v := int(d.u32())
+		if d.err != nil {
+			return d.err
+		}
+		if v >= ProtoV2 {
+			c.ver = ProtoV2
+			c.startPipeline()
+		}
+		return nil
+	case opError:
+		return nil // legacy peer: stay on v1
+	default:
+		return fmt.Errorf("pfsnet: unexpected hello reply opcode %d", fr.op)
+	}
+}
+
+// startPipeline launches the writer and reader goroutines of a v2 conn.
+func (c *conn) startPipeline() {
+	c.sendq = make(chan *wireCall, 128)
+	c.dead = make(chan struct{})
+	c.pending = make(map[uint64]*wireCall)
+	go c.writeLoop()
+	go c.readLoop()
+}
+
+// writeLoop drains the send queue through the corked bufio.Writer: it
+// keeps writing frames while more calls are queued and flushes only when
+// the queue runs dry, so bursts of sub-requests share syscalls. The loop
+// owns each queued call's payload buffer (callPipelined copied it in)
+// and returns it to the pool once written — or on exit, for calls still
+// queued when the conn dies, so a killed conn cannot race a caller that
+// has already been failed by kill and moved on.
+func (c *conn) writeLoop() {
+	defer func() {
+		for {
+			select {
+			case w := <-c.sendq:
+				putBuf(w.payload)
+			default:
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-c.dead:
+			return
+		case w := <-c.sendq:
+			c.wm.observeQueueWait(w.enq)
+			err := writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
+			n := len(w.payload)
+			putBuf(w.payload)
+			if err != nil {
+				c.kill(err)
+				return
+			}
+			c.wm.onTx(n)
+			if len(c.sendq) == 0 {
+				if err := c.bw.Flush(); err != nil {
+					c.kill(err)
+					return
+				}
+			}
+		}
+	}
+}
+
+// readLoop demuxes tagged replies to their waiting callers.
+func (c *conn) readLoop() {
+	for {
+		fr, err := readFrame(c.br, c.ver)
+		if err != nil {
+			c.kill(err)
+			return
+		}
+		c.wm.onRx(len(fr.payload))
+		c.pendMu.Lock()
+		w := c.pending[fr.tag]
+		delete(c.pending, fr.tag)
+		n := len(c.pending)
+		c.pendMu.Unlock()
+		if w == nil {
+			fr.release() // reply for an abandoned tag
+			continue
+		}
+		c.wm.setInflight(n)
+		w.replyOp = fr.op
+		w.reply = fr.payload
+		close(w.done)
+	}
+}
+
+// kill marks the conn dead, closes the socket, and fails every pending
+// call so no waiter ever hangs on a broken connection.
+func (c *conn) kill(err error) {
+	c.pendMu.Lock()
+	if c.failed == nil {
+		c.failed = err
+		close(c.dead)
+		c.nc.Close()
+		for tag, w := range c.pending {
+			delete(c.pending, tag)
+			w.err = err
+			close(w.done)
+		}
+		c.wm.setInflight(0)
+	}
+	c.pendMu.Unlock()
+}
+
+// close shuts the connection down. Pending v2 calls fail with
+// errConnClosed.
+func (c *conn) close() error {
+	if c.ver >= ProtoV2 {
+		c.kill(errConnClosed)
+		return nil
+	}
+	return c.nc.Close()
+}
+
+// call performs one request/reply exchange and returns the pooled reply
+// payload; the caller should putBuf it once decoded.
+func (c *conn) call(op byte, payload []byte) ([]byte, error) {
+	if c.ver >= ProtoV2 {
+		return c.callPipelined(op, payload)
+	}
+	return c.callV1(op, payload)
+}
+
+func (c *conn) callV1(op byte, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, ProtoV1, 0, op, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	c.wm.onTx(len(payload))
+	fr, err := readFrame(c.br, ProtoV1)
+	if err != nil {
+		return nil, err
+	}
+	c.wm.onRx(len(fr.payload))
+	return finishReply(fr.op, fr.payload)
+}
+
+func (c *conn) callPipelined(op byte, payload []byte) ([]byte, error) {
+	// The writer consumes the payload asynchronously, possibly after this
+	// call has already been failed by kill — so hand it a private pooled
+	// copy and keep the caller's buffer entirely on this side.
+	w := &wireCall{op: op, payload: getBuf(len(payload)), done: make(chan struct{})}
+	copy(w.payload, payload)
+	c.pendMu.Lock()
+	if c.failed != nil {
+		err := c.failed
+		c.pendMu.Unlock()
+		return nil, err
+	}
+	c.nextTag++
+	w.tag = c.nextTag
+	c.pending[w.tag] = w
+	n := len(c.pending)
+	c.pendMu.Unlock()
+	c.wm.setInflight(n)
+	if c.wm != nil {
+		w.enq = time.Now()
+	}
+	select {
+	case c.sendq <- w:
+		// The writer (or its exit drain) now owns w.payload.
+	case <-c.dead:
+		// kill covers every registered call, including this one; the
+		// payload copy never reached the writer.
+		putBuf(w.payload)
+	}
+	<-w.done
+	if w.err != nil {
+		return nil, w.err
+	}
+	return finishReply(w.replyOp, w.reply)
+}
+
+// finishReply maps a reply frame to (payload, error), releasing the
+// pooled payload on the error paths.
+func finishReply(op byte, payload []byte) ([]byte, error) {
+	switch op {
+	case opOK:
+		return payload, nil
+	case opError:
+		err := replyError(payload)
+		putBuf(payload)
+		return nil, err
+	default:
+		putBuf(payload)
+		return nil, fmt.Errorf("pfsnet: unexpected reply opcode %d", op)
+	}
 }
 
 // File is an open pfsnet file handle.
@@ -95,12 +372,12 @@ func (c *Client) Close() error {
 	defer c.mu.Unlock()
 	var first error
 	if c.meta != nil {
-		first = c.meta.c.Close()
+		first = c.meta.close()
 		c.meta = nil
 	}
 	for addr, pool := range c.data {
 		for _, cn := range pool {
-			if err := cn.c.Close(); err != nil && first == nil {
+			if err := cn.close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -109,45 +386,77 @@ func (c *Client) Close() error {
 	return first
 }
 
+// wireMetricsLocked lazily resolves the client's wire metrics (c.mu
+// held).
+func (c *Client) wireMetricsLocked() *wireMetrics {
+	if c.wm == nil && c.Obs != nil {
+		c.wm = newWireMetrics(c.Obs, "pfsnet.client.")
+	}
+	return c.wm
+}
+
 func (c *Client) metaConn() (*conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.meta != nil {
-		return c.meta, nil
+		cn := c.meta
+		c.mu.Unlock()
+		return cn, nil
 	}
-	nc, err := net.Dial("tcp", c.metaAddr)
+	wm := c.wireMetricsLocked()
+	maxProto := c.MaxProto
+	c.mu.Unlock()
+	// Dial outside the lock: negotiation is a network round trip.
+	cn, err := dialConn(c.metaAddr, maxProto, wm)
 	if err != nil {
 		return nil, err
 	}
-	c.meta = &conn{c: nc}
-	return c.meta, nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.meta != nil { // lost a dial race; keep the winner
+		cn.close()
+		return c.meta, nil
+	}
+	c.meta = cn
+	return cn, nil
 }
 
 // dataConn returns a pooled connection to addr, dialling lazily and
 // rotating round-robin through the pool.
 func (c *Client) dataConn(addr string) (*conn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	size := c.PoolSize
 	if size <= 0 {
 		size = 1
 	}
 	pool := c.data[addr]
-	if len(pool) < size {
-		nc, err := net.Dial("tcp", addr)
-		if err != nil {
-			if len(pool) > 0 {
-				return pool[0], nil // degrade to what we have
-			}
-			return nil, err
-		}
-		cn := &conn{c: nc}
-		c.data[addr] = append(pool, cn)
+	if len(pool) >= size {
+		i := c.next[addr] % len(pool)
+		c.next[addr] = i + 1
+		cn := pool[i]
+		c.mu.Unlock()
 		return cn, nil
 	}
-	i := c.next[addr] % len(pool)
-	c.next[addr] = i + 1
-	return pool[i], nil
+	wm := c.wireMetricsLocked()
+	maxProto := c.MaxProto
+	c.mu.Unlock()
+	cn, err := dialConn(addr, maxProto, wm)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pool = c.data[addr]
+	if err != nil {
+		if len(pool) > 0 {
+			return pool[0], nil // degrade to what we have
+		}
+		return nil, err
+	}
+	if len(pool) >= size { // lost a dial race and the pool filled up
+		cn.close()
+		i := c.next[addr] % len(pool)
+		c.next[addr] = i + 1
+		return pool[i], nil
+	}
+	c.data[addr] = append(pool, cn)
+	return cn, nil
 }
 
 // dropDataConn discards a broken pooled connection so the next call
@@ -158,7 +467,7 @@ func (c *Client) dropDataConn(addr string, cn *conn) {
 	pool := c.data[addr]
 	for i, have := range pool {
 		if have == cn {
-			cn.c.Close()
+			cn.close()
 			c.data[addr] = append(pool[:i], pool[i+1:]...)
 			return
 		}
@@ -213,14 +522,17 @@ func (c *Client) Create(name string, size int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	var e enc
+	e := newEnc()
 	e.str(name)
 	e.i64(size)
 	reply, err := mc.call(opCreate, e.b)
+	putBuf(e.b)
 	if err != nil {
 		return nil, err
 	}
-	return c.fileFromReply(name, reply)
+	f, err := c.fileFromReply(name, reply)
+	putBuf(reply)
+	return f, err
 }
 
 // Open opens an existing file.
@@ -229,13 +541,16 @@ func (c *Client) Open(name string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	var e enc
+	e := newEnc()
 	e.str(name)
 	reply, err := mc.call(opOpen, e.b)
+	putBuf(e.b)
 	if err != nil {
 		return nil, err
 	}
-	return c.fileFromReply(name, reply)
+	f, err := c.fileFromReply(name, reply)
+	putBuf(reply)
+	return f, err
 }
 
 // subs decomposes a request, applying fragment flagging when configured.
@@ -244,6 +559,23 @@ func (c *Client) subs(f *File, off, length int64) []stripe.Sub {
 		return f.layout.DecomposeFlagged(off, length, c.FragmentThreshold)
 	}
 	return f.layout.Decompose(off, length)
+}
+
+// writeSub issues one write sub-request.
+func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random bool) error {
+	e := newEnc()
+	e.u64(f.ID)
+	e.i64(sub.ServerOff)
+	var flags byte
+	if sub.Fragment || random {
+		flags |= 1
+	}
+	e.u8(flags)
+	e.bytes(p[sub.FileOff-off : sub.FileOff-off+sub.Length])
+	reply, err := c.dataCall(f.servers[sub.Server], opWrite, e.b)
+	putBuf(e.b)
+	putBuf(reply)
+	return err
 }
 
 // WriteAt writes p at offset off, striping it over the data servers. It
@@ -258,21 +590,14 @@ func (c *Client) WriteAt(f *File, off int64, p []byte) error {
 	}
 	random := c.RandomThreshold > 0 && int64(len(p)) < c.RandomThreshold
 	subs := c.subs(f, off, int64(len(p)))
+	if len(subs) == 1 {
+		return c.writeSub(f, off, p, subs[0], random)
+	}
 	errs := make(chan error, len(subs))
 	for _, sub := range subs {
 		sub := sub
 		go func() {
-			var e enc
-			e.u64(f.ID)
-			e.i64(sub.ServerOff)
-			var flags byte
-			if sub.Fragment || random {
-				flags |= 1
-			}
-			e.u8(flags)
-			e.bytes(p[sub.FileOff-off : sub.FileOff-off+sub.Length])
-			_, err := c.dataCall(f.servers[sub.Server], opWrite, e.b)
-			errs <- err
+			errs <- c.writeSub(f, off, p, sub, random)
 		}()
 	}
 	var first error
@@ -284,6 +609,32 @@ func (c *Client) WriteAt(f *File, off int64, p []byte) error {
 	return first
 }
 
+// readSub issues one read sub-request and copies the result into p.
+func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
+	e := newEnc()
+	e.u64(f.ID)
+	e.i64(sub.ServerOff)
+	e.i64(sub.Length)
+	reply, err := c.dataCall(f.servers[sub.Server], opRead, e.b)
+	putBuf(e.b)
+	if err != nil {
+		return err
+	}
+	d := dec{b: reply}
+	data := d.bytes()
+	if d.err != nil {
+		putBuf(reply)
+		return d.err
+	}
+	if int64(len(data)) != sub.Length {
+		putBuf(reply)
+		return fmt.Errorf("pfsnet: short read: %d of %d bytes", len(data), sub.Length)
+	}
+	copy(p[sub.FileOff-off:], data)
+	putBuf(reply)
+	return nil
+}
+
 // ReadAt reads len(p) bytes at offset off into p.
 func (c *Client) ReadAt(f *File, off int64, p []byte) error {
 	if err := c.checkRange(f, off, int64(len(p))); err != nil {
@@ -293,31 +644,14 @@ func (c *Client) ReadAt(f *File, off int64, p []byte) error {
 		return nil
 	}
 	subs := c.subs(f, off, int64(len(p)))
+	if len(subs) == 1 {
+		return c.readSub(f, off, p, subs[0])
+	}
 	errs := make(chan error, len(subs))
 	for _, sub := range subs {
 		sub := sub
 		go func() {
-			var e enc
-			e.u64(f.ID)
-			e.i64(sub.ServerOff)
-			e.i64(sub.Length)
-			reply, err := c.dataCall(f.servers[sub.Server], opRead, e.b)
-			if err != nil {
-				errs <- err
-				return
-			}
-			d := dec{b: reply}
-			data := d.bytes()
-			if d.err != nil {
-				errs <- d.err
-				return
-			}
-			if int64(len(data)) != sub.Length {
-				errs <- fmt.Errorf("pfsnet: short read: %d of %d bytes", len(data), sub.Length)
-				return
-			}
-			copy(p[sub.FileOff-off:], data)
-			errs <- nil
+			errs <- c.readSub(f, off, p, sub)
 		}()
 	}
 	var first error
@@ -349,14 +683,16 @@ func (c *Client) Flush(f *File) (int64, error) {
 	}
 	var total int64
 	for _, addr := range servers {
-		var e enc
+		e := newEnc()
 		e.u64(id)
 		reply, err := c.dataCall(addr, opFlush, e.b)
+		putBuf(e.b)
 		if err != nil {
 			return total, err
 		}
 		d := dec{b: reply}
 		total += d.i64()
+		putBuf(reply)
 		if d.err != nil {
 			return total, d.err
 		}

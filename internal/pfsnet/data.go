@@ -1,11 +1,18 @@
 package pfsnet
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // DataServer stores the per-server striped objects and serves read/write
@@ -13,21 +20,52 @@ import (
 // (fragments and regular random requests) are written to a log region
 // with a mapping table — the functional analogue of iBridge's SSD cache —
 // and drained back to the object store on Flush or overwrite.
+//
+// Each v2 connection runs a small pipeline: the connection goroutine
+// demuxes tagged frames into a bounded worker pool, the workers execute
+// handlers concurrently, and a single response-writer goroutine streams
+// the tagged replies back through a corked bufio.Writer. Server state is
+// split so independent requests do not serialize behind one lock: the
+// fragment log and its mapping table are guarded by logMu, counters are
+// atomic, and object-store I/O runs outside both.
 type DataServer struct {
-	ln     net.Listener
-	bridge bool
-	store  ObjectStore
+	ln       net.Listener
+	bridge   bool
+	store    ObjectStore
+	workers  int
+	maxProto int
+	wm       *wireMetrics
 
-	mu      sync.Mutex
+	// logMu guards the iBridge log region and its mapping table only;
+	// object-store reads and writes happen outside it.
+	logMu   sync.Mutex
 	logData []byte // the "SSD" log region
 	table   map[extKey]extVal
 
-	stats DataStats
-	wg    sync.WaitGroup
-	quit  chan struct{}
+	ctr  dataCounters
+	wg   sync.WaitGroup
+	quit chan struct{}
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+}
+
+// ServerConfig configures a data server beyond the common defaults.
+type ServerConfig struct {
+	// Bridge enables the iBridge fragment log.
+	Bridge bool
+	// Store is the backing object store (default: in-memory).
+	Store ObjectStore
+	// Workers bounds the per-connection handler pool for pipelined (v2)
+	// connections. Default: max(4, GOMAXPROCS).
+	Workers int
+	// MaxProto caps the wire protocol the server will negotiate
+	// (0 means the latest; 1 makes the server behave like a legacy v1
+	// peer, rejecting the hello opcode).
+	MaxProto int
+	// Obs, when set, receives wire-level metrics under
+	// "pfsnet.server.*".
+	Obs *obs.Registry
 }
 
 // DataStats counts server activity.
@@ -39,6 +77,18 @@ type DataStats struct {
 	Flushes            int64
 	FlushedBytes       int64
 	ReadBytes, WrBytes int64
+}
+
+// dataCounters is the lock-free mirror of DataStats: handlers running in
+// parallel update it without sharing the log lock.
+type dataCounters struct {
+	reads, writes      atomic.Int64
+	fragmentWrites     atomic.Int64
+	fragmentReads      atomic.Int64
+	logBytes           atomic.Int64
+	flushes            atomic.Int64
+	flushedBytes       atomic.Int64
+	readBytes, wrBytes atomic.Int64
 }
 
 type extKey struct {
@@ -55,23 +105,43 @@ type extVal struct {
 // "127.0.0.1:0" for an ephemeral port) with an in-memory object store.
 // bridge enables the fragment log.
 func NewDataServer(addr string, bridge bool) (*DataServer, error) {
-	return NewDataServerWithStore(addr, bridge, NewMemStore())
+	return NewDataServerConfig(addr, ServerConfig{Bridge: bridge})
 }
 
 // NewDataServerWithStore starts a data server over the given object
 // store (e.g. a FileStore for on-disk objects).
 func NewDataServerWithStore(addr string, bridge bool, store ObjectStore) (*DataServer, error) {
+	return NewDataServerConfig(addr, ServerConfig{Bridge: bridge, Store: store})
+}
+
+// NewDataServerConfig starts a data server with explicit configuration.
+func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	store := cfg.Store
+	if store == nil {
+		store = NewMemStore()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = max(4, runtime.GOMAXPROCS(0))
+	}
+	maxProto := cfg.MaxProto
+	if maxProto <= 0 || maxProto > maxProtoVersion {
+		maxProto = maxProtoVersion
+	}
 	s := &DataServer{
-		ln:     ln,
-		bridge: bridge,
-		store:  store,
-		table:  make(map[extKey]extVal),
-		quit:   make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		ln:       ln,
+		bridge:   cfg.Bridge,
+		store:    store,
+		workers:  workers,
+		maxProto: maxProto,
+		wm:       newWireMetrics(cfg.Obs, "pfsnet.server."),
+		table:    make(map[extKey]extVal),
+		quit:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -83,9 +153,17 @@ func (s *DataServer) Addr() string { return s.ln.Addr().String() }
 
 // Stats returns a copy of the server statistics.
 func (s *DataServer) Stats() DataStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return DataStats{
+		Reads:          s.ctr.reads.Load(),
+		Writes:         s.ctr.writes.Load(),
+		FragmentWrites: s.ctr.fragmentWrites.Load(),
+		FragmentReads:  s.ctr.fragmentReads.Load(),
+		LogBytes:       s.ctr.logBytes.Load(),
+		Flushes:        s.ctr.flushes.Load(),
+		FlushedBytes:   s.ctr.flushedBytes.Load(),
+		ReadBytes:      s.ctr.readBytes.Load(),
+		WrBytes:        s.ctr.wrBytes.Load(),
+	}
 }
 
 // Close stops the server, flushes the log, and waits for connection
@@ -112,13 +190,13 @@ func (s *DataServer) Close() error {
 // FlushLog drains every mapped log extent back to the object store, in
 // (file, offset) order — the iBridge writeback at program termination.
 func (s *DataServer) FlushLog() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	return s.flushLocked(0, true)
 }
 
-// flushLocked writes back mapped extents. If all is false, only extents
-// of the given file are drained.
+// flushLocked writes back mapped extents (logMu held). If all is false,
+// only extents of the given file are drained.
 func (s *DataServer) flushLocked(file uint64, all bool) error {
 	type hit struct {
 		k extKey
@@ -142,12 +220,12 @@ func (s *DataServer) flushLocked(file uint64, all bool) error {
 			return err
 		}
 		delete(s.table, h.k)
-		s.stats.FlushedBytes += h.v.length
+		s.ctr.flushedBytes.Add(h.v.length)
 	}
 	if all && len(s.table) == 0 {
 		s.logData = s.logData[:0] // log reclaimed
 	}
-	s.stats.Flushes++
+	s.ctr.flushes.Add(1)
 	return nil
 }
 
@@ -180,33 +258,108 @@ func (s *DataServer) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
-	for {
-		msg, err := readMessage(conn)
-		if err != nil {
-			return // client closed or protocol error
-		}
-		var reply []byte
-		var replyOp byte = opOK
-		switch msg.op {
-		case opWrite:
-			reply, err = s.handleWrite(msg.payload)
-		case opRead:
-			reply, err = s.handleRead(msg.payload)
-		case opStat:
-			reply, err = s.handleStat(msg.payload)
-		case opFlush:
-			reply, err = s.handleFlush(msg.payload)
-		default:
-			err = fmt.Errorf("pfsnet data: bad opcode %d", msg.op)
-		}
-		if err != nil {
-			replyOp = opError
-			reply = errorPayload(err)
-		}
-		if err := writeMessage(conn, replyOp, reply); err != nil {
-			return
-		}
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	ver, first, hasFirst, err := serverHandshake(br, bw, s.maxProto)
+	if err != nil {
+		return
 	}
+	if ver >= ProtoV2 {
+		s.servePipelined(conn, br, bw)
+		return
+	}
+	var firstp *frame
+	if hasFirst {
+		firstp = &first
+	}
+	serveFrames(br, bw, ProtoV1, firstp, s.wm, s.dispatch)
+}
+
+// servePipelined runs the v2 per-connection pipeline: this goroutine
+// demuxes frames into the bounded worker pool, the workers execute
+// handlers concurrently, and one response-writer goroutine streams the
+// tagged replies back, flushing only when its queue runs dry.
+func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+	jobs := make(chan frame, s.workers*2)
+	resp := make(chan frame, s.workers*2)
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		broken := false
+		for fr := range resp {
+			if !broken {
+				if writeFrame(bw, ProtoV2, fr.tag, fr.op, fr.payload) != nil {
+					broken = true
+					conn.Close() // unblock the demux reader promptly
+				} else {
+					s.wm.onTx(len(fr.payload))
+				}
+			}
+			putBuf(fr.payload)
+			if !broken && len(resp) == 0 {
+				if bw.Flush() != nil {
+					broken = true
+					conn.Close()
+				}
+			}
+		}
+	}()
+
+	var workerWG sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for fr := range jobs {
+				s.wm.observeQueueWait(fr.enq)
+				op, reply := s.dispatch(fr.op, fr.payload)
+				fr.release()
+				resp <- frame{tag: fr.tag, op: op, payload: reply}
+			}
+		}()
+	}
+
+	for {
+		fr, err := readFrame(br, ProtoV2)
+		if err != nil {
+			break
+		}
+		s.wm.onRx(len(fr.payload))
+		if s.wm != nil {
+			fr.enq = time.Now()
+		}
+		jobs <- fr // bounded: backpressure falls back onto TCP
+	}
+	close(jobs)
+	workerWG.Wait()
+	close(resp)
+	writerWG.Wait()
+}
+
+// dispatch executes one request and returns the reply opcode and pooled
+// payload.
+func (s *DataServer) dispatch(op byte, payload []byte) (byte, []byte) {
+	var reply []byte
+	var err error
+	switch op {
+	case opWrite:
+		reply, err = s.handleWrite(payload)
+	case opRead:
+		reply, err = s.handleRead(payload)
+	case opStat:
+		reply, err = s.handleStat(payload)
+	case opFlush:
+		reply, err = s.handleFlush(payload)
+	default:
+		err = fmt.Errorf("pfsnet data: bad opcode %d", op)
+	}
+	if err != nil {
+		putBuf(reply)
+		return opError, errorPayload(err)
+	}
+	return opOK, reply
 }
 
 // handleWrite payload: file u64, off i64, flags u8 (1 = fragment/random), data bytes.
@@ -222,25 +375,30 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 	if off < 0 {
 		return nil, fmt.Errorf("pfsnet data: negative offset %d", off)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Writes++
-	s.stats.WrBytes += int64(len(data))
+	s.ctr.writes.Add(1)
+	s.ctr.wrBytes.Add(int64(len(data)))
 	if s.bridge && flags&1 != 0 {
 		// iBridge path: append to the log, record the mapping, and
 		// invalidate overlapped older mappings.
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
 		if err := s.invalidateLocked(file, off, int64(len(data))); err != nil {
 			return nil, err
 		}
 		logOff := int64(len(s.logData))
 		s.logData = append(s.logData, data...)
 		s.table[extKey{file, off}] = extVal{logOff: logOff, length: int64(len(data))}
-		s.stats.FragmentWrites++
-		s.stats.LogBytes += int64(len(data))
+		s.ctr.fragmentWrites.Add(1)
+		s.ctr.logBytes.Add(int64(len(data)))
 		return nil, nil
 	}
-	// Direct path; the write also supersedes any cached mapping.
-	if err := s.invalidateLocked(file, off, int64(len(data))); err != nil {
+	// Direct path; the write also supersedes any cached mapping. The
+	// store write itself runs outside logMu so independent files don't
+	// serialize behind the log lock.
+	s.logMu.Lock()
+	err := s.invalidateLocked(file, off, int64(len(data)))
+	s.logMu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return nil, s.store.WriteAt(file, off, data)
@@ -248,7 +406,7 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 
 // invalidateLocked drops log mappings overlapping [off, off+n), first
 // writing their current content back to the object so no data is lost
-// when a partial overwrite arrives through the direct path.
+// when a partial overwrite arrives through the direct path. logMu held.
 func (s *DataServer) invalidateLocked(file uint64, off, n int64) error {
 	type hit struct {
 		k extKey
@@ -284,29 +442,33 @@ func (s *DataServer) handleRead(payload []byte) ([]byte, error) {
 	if off < 0 || length < 0 || length > MaxMessage-64 {
 		return nil, fmt.Errorf("pfsnet data: bad read [%d,+%d)", off, length)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Reads++
-	s.stats.ReadBytes += length
-	out := make([]byte, length)
+	s.ctr.reads.Add(1)
+	s.ctr.readBytes.Add(length)
+	// The reply is built in place — length prefix then data — so the
+	// store reads straight into the pooled wire buffer with no
+	// intermediate copy.
+	reply := getBuf(4 + int(length))
+	binary.BigEndian.PutUint32(reply[:4], uint32(length))
+	out := reply[4:]
 	if err := s.store.ReadAt(file, off, out); err != nil {
+		putBuf(reply)
 		return nil, err
 	}
 	// Overlay any mapped log extents (they are newer than the object).
 	if s.bridge {
+		s.logMu.Lock()
 		for k, v := range s.table {
 			if k.file != file || k.off >= off+length || off >= k.off+v.length {
 				continue
 			}
-			from := max64(k.off, off)
-			to := min64(k.off+v.length, off+length)
+			from := max(k.off, off)
+			to := min(k.off+v.length, off+length)
 			copy(out[from-off:to-off], s.logData[v.logOff+(from-k.off):v.logOff+(to-k.off)])
-			s.stats.FragmentReads++
+			s.ctr.fragmentReads.Add(1)
 		}
+		s.logMu.Unlock()
 	}
-	var e enc
-	e.bytes(out)
-	return e.b, nil
+	return reply, nil
 }
 
 // handleStat payload: file u64. Reply: objectLen i64, mappedExtents u32,
@@ -317,22 +479,23 @@ func (s *DataServer) handleStat(payload []byte) ([]byte, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	objLen, err := s.store.Size(file)
 	if err != nil {
 		return nil, err
 	}
+	s.logMu.Lock()
 	var mapped uint32
 	for k := range s.table {
 		if k.file == file {
 			mapped++
 		}
 	}
-	var e enc
+	logLen := int64(len(s.logData))
+	s.logMu.Unlock()
+	e := newEnc()
 	e.i64(objLen)
 	e.u32(mapped)
-	e.i64(int64(len(s.logData)))
+	e.i64(logLen)
 	return e.b, nil
 }
 
@@ -343,27 +506,13 @@ func (s *DataServer) handleFlush(payload []byte) ([]byte, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	before := s.stats.FlushedBytes
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	before := s.ctr.flushedBytes.Load()
 	if err := s.flushLocked(file, file == 0); err != nil {
 		return nil, err
 	}
-	var e enc
-	e.i64(s.stats.FlushedBytes - before)
+	e := newEnc()
+	e.i64(s.ctr.flushedBytes.Load() - before)
 	return e.b, nil
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

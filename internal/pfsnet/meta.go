@@ -1,6 +1,7 @@
 package pfsnet
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"net"
@@ -104,34 +105,44 @@ func (s *MetaServer) serveConn(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
-	for {
-		msg, err := readMessage(conn)
-		if err != nil {
-			return
-		}
-		var reply []byte
-		var replyOp byte = opOK
-		switch msg.op {
-		case opCreate:
-			reply, err = s.handleCreate(msg.payload)
-		case opOpen:
-			reply, err = s.handleOpen(msg.payload)
-		default:
-			err = fmt.Errorf("pfsnet meta: bad opcode %d", msg.op)
-		}
-		if err != nil {
-			replyOp = opError
-			reply = errorPayload(err)
-		}
-		if err := writeMessage(conn, replyOp, reply); err != nil {
-			return
-		}
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	// Metadata traffic is a handful of round trips per file, so the
+	// sequential loop serves both protocol versions; v2 peers still get
+	// tagged replies (in order, which v2 permits).
+	ver, first, hasFirst, err := serverHandshake(br, bw, maxProtoVersion)
+	if err != nil {
+		return
 	}
+	var firstp *frame
+	if hasFirst {
+		firstp = &first
+	}
+	serveFrames(br, bw, ver, firstp, nil, s.dispatch)
+}
+
+// dispatch executes one metadata request.
+func (s *MetaServer) dispatch(op byte, payload []byte) (byte, []byte) {
+	var reply []byte
+	var err error
+	switch op {
+	case opCreate:
+		reply, err = s.handleCreate(payload)
+	case opOpen:
+		reply, err = s.handleOpen(payload)
+	default:
+		err = fmt.Errorf("pfsnet meta: bad opcode %d", op)
+	}
+	if err != nil {
+		putBuf(reply)
+		return opError, errorPayload(err)
+	}
+	return opOK, reply
 }
 
 // fileReplyLocked encodes id, size, unit, and the data server list.
 func (s *MetaServer) fileReplyLocked(m fileMeta) []byte {
-	var e enc
+	e := newEnc()
 	e.u64(m.id)
 	e.i64(m.size)
 	e.i64(s.unit)

@@ -13,16 +13,35 @@
 // lives in the simulator (internal/cluster), since host disks are not the
 // paper's devices.
 //
-// Wire format: every message is a 4-byte big-endian length followed by a
-// 1-byte opcode and an opcode-specific payload. Strings and byte blobs
-// are 4-byte-length-prefixed. All integers are big-endian.
+// Wire format, protocol v1: every message is a 4-byte big-endian length
+// followed by a 1-byte opcode and an opcode-specific payload. Strings and
+// byte blobs are 4-byte-length-prefixed. All integers are big-endian.
+//
+// Protocol v2 (negotiated at connect time, see below) inserts an 8-byte
+// request tag between the length and the opcode. The tag is chosen by
+// the requester and echoed verbatim in the reply, which lets many
+// requests multiplex over one connection with out-of-order replies —
+// the wire-level analogue of getting many independent sub-requests in
+// flight per server at once.
+//
+// Negotiation: a v2 client opens every connection by sending a v1-framed
+// opHello carrying its maximum supported version. A v2 server replies
+// opOK with the agreed version (the minimum of the two maxima) and both
+// sides switch framing; a v1 server rejects the unknown opcode with
+// opError, which the client takes as "v1 peer" and falls back. A v1
+// client never sends opHello, so a v2 server simply keeps speaking v1 on
+// that connection.
 package pfsnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
+	"time"
 )
 
 // Opcodes.
@@ -35,6 +54,15 @@ const (
 	opFlush
 	opOK
 	opError
+	opHello
+)
+
+// Wire protocol versions.
+const (
+	ProtoV1 = 1 // one frame per message, in-order request/reply
+	ProtoV2 = 2 // tagged frames, multiplexed, out-of-order replies
+
+	maxProtoVersion = ProtoV2
 )
 
 // MaxMessage bounds a single message (sub-requests are at most a striping
@@ -48,28 +76,20 @@ var (
 	ErrShort    = errors.New("pfsnet: short/corrupt message")
 )
 
-// message is a decoded frame.
+// message is a decoded v1 frame.
 type message struct {
 	op      byte
 	payload []byte
 }
 
-// writeMessage frames and sends op+payload.
+// writeMessage frames and sends op+payload in v1 framing.
 func writeMessage(w io.Writer, op byte, payload []byte) error {
-	if len(payload)+1 > MaxMessage {
-		return ErrTooLarge
-	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = op
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+	return writeFrame(w, ProtoV1, 0, op, payload)
 }
 
-// readMessage reads one frame.
+// readMessage reads one v1 frame, allocating the payload (the pooled
+// path is readFrame; this form is kept for tests and fuzzing against
+// arbitrary readers).
 func readMessage(r io.Reader) (message, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -85,6 +105,123 @@ func readMessage(r io.Reader) (message, error) {
 	}
 	return message{op: hdr[4], payload: payload}, nil
 }
+
+// frame is one decoded wire frame. In v1 framing the tag is always 0.
+// The payload is pool-backed: call release (or putBuf) once the bytes
+// have been consumed.
+type frame struct {
+	tag     uint64
+	op      byte
+	payload []byte
+	enq     time.Time // set by servers when queue-wait metrics are on
+}
+
+// release returns the payload buffer to the pool.
+func (f *frame) release() {
+	putBuf(f.payload)
+	f.payload = nil
+}
+
+// writeFrame frames and sends one message at the given protocol version.
+// The writer is typically a *bufio.Writer: the header and payload land in
+// its buffer and the caller decides when to flush (corking many frames
+// into one syscall).
+func writeFrame(w io.Writer, ver int, tag uint64, op byte, payload []byte) error {
+	var hdr [13]byte
+	var hn int
+	if ver >= ProtoV2 {
+		if len(payload)+9 > MaxMessage {
+			return ErrTooLarge
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+9))
+		binary.BigEndian.PutUint64(hdr[4:12], tag)
+		hdr[12] = op
+		hn = 13
+	} else {
+		if len(payload)+1 > MaxMessage {
+			return ErrTooLarge
+		}
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+		hdr[4] = op
+		hn = 5
+	}
+	if _, err := w.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame at the given protocol version into a pooled
+// payload buffer.
+func readFrame(r io.Reader, ver int) (frame, error) {
+	var hdr [13]byte
+	hn := 5
+	if ver >= ProtoV2 {
+		hn = 13
+	}
+	if _, err := io.ReadFull(r, hdr[:hn]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	overhead := uint32(hn - 4)
+	if n < overhead || n > MaxMessage {
+		return frame{}, ErrTooLarge
+	}
+	var fr frame
+	if ver >= ProtoV2 {
+		fr.tag = binary.BigEndian.Uint64(hdr[4:12])
+		fr.op = hdr[12]
+	} else {
+		fr.op = hdr[4]
+	}
+	fr.payload = getBuf(int(n - overhead))
+	if _, err := io.ReadFull(r, fr.payload); err != nil {
+		fr.release()
+		return frame{}, err
+	}
+	return fr, nil
+}
+
+// Payload buffer pools, in power-of-two size classes from 1 KB to 64 MB
+// (≥ MaxMessage). Steady-state reads and writes recycle their payload and
+// encode buffers through these instead of allocating per message.
+const (
+	minBufClass = 10 // 1 KB
+	maxBufClass = 26 // 64 MB
+)
+
+var bufPools [maxBufClass - minBufClass + 1]sync.Pool
+
+// getBuf returns a length-n buffer with pooled backing storage.
+func getBuf(n int) []byte {
+	if n > 1<<maxBufClass {
+		return make([]byte, n)
+	}
+	c := minBufClass
+	if n > 1<<minBufClass {
+		c = bits.Len(uint(n - 1))
+	}
+	if p, _ := bufPools[c-minBufClass].Get().(*[]byte); p != nil {
+		return (*p)[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// putBuf returns a buffer obtained from getBuf (or grown from one) to
+// its size-class pool. nil and undersized buffers are dropped.
+func putBuf(b []byte) {
+	if cap(b) < 1<<minBufClass || cap(b) > 1<<maxBufClass {
+		return
+	}
+	c := bits.Len(uint(cap(b))) - 1 // floor: the largest class the cap satisfies
+	b = b[:0]
+	bufPools[c-minBufClass].Put(&b)
+}
+
+// newEnc returns an encoder writing into a pooled buffer; pass the
+// finished enc.b to putBuf once it has been sent.
+func newEnc() enc { return enc{b: getBuf(0)} }
 
 // enc is a tiny append-style encoder.
 type enc struct{ b []byte }
@@ -150,9 +287,9 @@ func (d *dec) bytes() []byte {
 
 func (d *dec) str() string { return string(d.bytes()) }
 
-// errorPayload encodes an error reply.
+// errorPayload encodes an error reply into a pooled buffer.
 func errorPayload(err error) []byte {
-	var e enc
+	e := newEnc()
 	e.str(err.Error())
 	return e.b
 }
@@ -171,4 +308,75 @@ func replyError(payload []byte) error {
 		return d.err
 	}
 	return remoteError{msg: msg}
+}
+
+// serverHandshake inspects the leading frame of a fresh connection. A
+// v2-capable server intercepts an opHello, answers with the agreed
+// version, and returns it; any other first frame means a v1 client, and
+// the frame is handed back for normal dispatch. When maxProto caps the
+// server at v1 the hello is likewise handed back, so the normal dispatch
+// path rejects the unknown opcode exactly as a legacy server would.
+func serverHandshake(br *bufio.Reader, bw *bufio.Writer, maxProto int) (ver int, first frame, hasFirst bool, err error) {
+	fr, err := readFrame(br, ProtoV1)
+	if err != nil {
+		return 0, frame{}, false, err
+	}
+	if fr.op != opHello || maxProto < ProtoV2 {
+		return ProtoV1, fr, true, nil
+	}
+	d := dec{b: fr.payload}
+	clientMax := int(d.u32())
+	fr.release()
+	if d.err != nil {
+		return 0, frame{}, false, d.err
+	}
+	agreed := min(clientMax, maxProto)
+	if agreed < ProtoV1 {
+		agreed = ProtoV1
+	}
+	e := newEnc()
+	e.u32(uint32(agreed))
+	werr := writeFrame(bw, ProtoV1, 0, opOK, e.b)
+	putBuf(e.b)
+	if werr != nil {
+		return 0, frame{}, false, werr
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, frame{}, false, err
+	}
+	return agreed, frame{}, false, nil
+}
+
+// serveFrames runs a sequential request loop at the given protocol
+// version: read a frame, dispatch it, reply with the echoed tag, flush.
+// This is the whole server for v1 connections (which require in-order
+// replies) and for low-rate services like the metadata server, where
+// handler concurrency buys nothing. first, when non-nil, is a frame the
+// handshake already read.
+func serveFrames(br *bufio.Reader, bw *bufio.Writer, ver int, first *frame, wm *wireMetrics, dispatch func(op byte, payload []byte) (byte, []byte)) {
+	for {
+		var fr frame
+		if first != nil {
+			fr, first = *first, nil
+		} else {
+			var err error
+			fr, err = readFrame(br, ver)
+			if err != nil {
+				return
+			}
+		}
+		wm.onRx(len(fr.payload))
+		op, reply := dispatch(fr.op, fr.payload)
+		fr.release()
+		n := len(reply)
+		err := writeFrame(bw, ver, fr.tag, op, reply)
+		putBuf(reply)
+		if err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		wm.onTx(n)
+	}
 }

@@ -22,9 +22,11 @@ type ObjectStore interface {
 	Close() error
 }
 
-// MemStore is the default in-memory object store.
+// MemStore is the default in-memory object store. Reads take the lock
+// shared, so concurrent server workers reading different (or the same)
+// objects do not serialize.
 type MemStore struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	objects map[uint64][]byte
 }
 
@@ -42,9 +44,17 @@ func (s *MemStore) WriteAt(file uint64, off int64, data []byte) error {
 	defer s.mu.Unlock()
 	o := s.objects[file]
 	if end := off + int64(len(data)); int64(len(o)) < end {
-		grown := make([]byte, end)
-		copy(grown, o)
-		o = grown
+		if end <= int64(cap(o)) {
+			o = o[:end]
+		} else {
+			// Grow geometrically: objects extend one sub-request at a
+			// time, and reallocating the whole object per write would
+			// make appending N bytes cost O(N²) copying.
+			newCap := max(end, 2*int64(cap(o)))
+			grown := make([]byte, end, newCap)
+			copy(grown, o)
+			o = grown
+		}
 	}
 	copy(o[off:], data)
 	s.objects[file] = o
@@ -56,11 +66,9 @@ func (s *MemStore) ReadAt(file uint64, off int64, p []byte) error {
 	if off < 0 {
 		return fmt.Errorf("pfsnet: negative offset %d", off)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i := range p {
-		p[i] = 0
-	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	clear(p)
 	if o := s.objects[file]; off < int64(len(o)) {
 		copy(p, o[off:])
 	}
@@ -69,8 +77,8 @@ func (s *MemStore) ReadAt(file uint64, off int64, p []byte) error {
 
 // Size implements ObjectStore.
 func (s *MemStore) Size(file uint64) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return int64(len(s.objects[file])), nil
 }
 
@@ -78,11 +86,15 @@ func (s *MemStore) Size(file uint64) (int64, error) {
 func (s *MemStore) Close() error { return nil }
 
 // FileStore keeps each object in a sparse file under dir — the analogue
-// of PVFS2's Trove bstreams on the server-local file system.
+// of PVFS2's Trove bstreams on the server-local file system. The handle
+// map is read-mostly: steady-state lookups take the lock shared, so
+// concurrent I/O to independent files proceeds in parallel (the reads
+// and writes themselves are positional pread/pwrite, which need no
+// lock at all).
 type FileStore struct {
 	dir string
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	files map[uint64]*os.File
 }
 
@@ -96,9 +108,15 @@ func NewFileStore(dir string) (*FileStore, error) {
 }
 
 func (s *FileStore) handle(file uint64) (*os.File, error) {
+	s.mu.RLock()
+	f, ok := s.files[file]
+	s.mu.RUnlock()
+	if ok {
+		return f, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if f, ok := s.files[file]; ok {
+	if f, ok := s.files[file]; ok { // lost an open race
 		return f, nil
 	}
 	f, err := os.OpenFile(filepath.Join(s.dir, fmt.Sprintf("obj-%d.dat", file)), os.O_RDWR|os.O_CREATE, 0o644)

@@ -1,0 +1,66 @@
+package pfsnet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// wireMetrics holds the wire-level observability hooks for one endpoint
+// (client or data server). A nil *wireMetrics disables everything at the
+// cost of one pointer test per event — the same zero-cost-when-off
+// contract the rest of the repo's obs wiring follows.
+type wireMetrics struct {
+	framesTx *obs.Counter // frames written
+	framesRx *obs.Counter // frames read
+	bytesTx  *obs.Counter // payload bytes written
+	bytesRx  *obs.Counter // payload bytes read
+	inflight *obs.Gauge   // requests issued and not yet completed
+	qwait    *obs.Hist    // ms from enqueue to wire write / worker start
+}
+
+// newWireMetrics resolves the endpoint's metrics in reg under prefix
+// (e.g. "pfsnet.client."). Returns nil when reg is nil.
+func newWireMetrics(reg *obs.Registry, prefix string) *wireMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &wireMetrics{
+		framesTx: reg.Counter(prefix + "frames_tx"),
+		framesRx: reg.Counter(prefix + "frames_rx"),
+		bytesTx:  reg.Counter(prefix + "bytes_tx"),
+		bytesRx:  reg.Counter(prefix + "bytes_rx"),
+		inflight: reg.Gauge(prefix + "inflight"),
+		qwait:    reg.Hist(prefix + "queue_wait_ms"),
+	}
+}
+
+func (m *wireMetrics) onTx(payloadBytes int) {
+	if m == nil {
+		return
+	}
+	m.framesTx.Inc()
+	m.bytesTx.Add(int64(payloadBytes))
+}
+
+func (m *wireMetrics) onRx(payloadBytes int) {
+	if m == nil {
+		return
+	}
+	m.framesRx.Inc()
+	m.bytesRx.Add(int64(payloadBytes))
+}
+
+func (m *wireMetrics) setInflight(n int) {
+	if m == nil {
+		return
+	}
+	m.inflight.Set(int64(n))
+}
+
+func (m *wireMetrics) observeQueueWait(enq time.Time) {
+	if m == nil || enq.IsZero() {
+		return
+	}
+	m.qwait.Observe(float64(time.Since(enq)) / float64(time.Millisecond))
+}

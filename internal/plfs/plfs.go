@@ -146,24 +146,12 @@ func (m *Mount) ReadAt(p *sim.Proc, off, length int64) (pieces int, err error) {
 	end := off + length
 	for ; i < len(m.index) && m.index[i].off < end; i++ {
 		e := m.index[i]
-		from := max64(e.off, off)
-		to := min64(e.end(), end)
+		from := max(e.off, off)
+		to := min(e.end(), end)
 		m.client.Read(p, m.logs[e.rank], e.logOff+(from-e.off), to-from)
 		pieces++
 	}
 	return pieces, nil
 }
 
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
-}
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
