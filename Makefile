@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke cover ci
+.PHONY: all build test race vet lint bench-smoke cover ci
 
-all: build test vet
+all: build test vet lint
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,31 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-bearing packages: the parallel experiment
-# runner, the simulation engine it fans out, and the pipelined TCP
-# client/server.
+# runner, the simulation engine it fans out, the pipelined TCP
+# client/server, the cluster harness, and the shared metrics registry.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/pfsnet/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/pfsnet/... ./internal/cluster/... ./internal/obs/...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (determinism, obs nil-sink discipline, no
+# blocking I/O under locks) enforced by the custom multichecker, plus
+# staticcheck and govulncheck when they are installed. The multichecker
+# is the hard gate; the external tools are best-effort so the target
+# works on a bare toolchain.
+lint:
+	$(GO) run ./cmd/ibridge-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping"; \
+	fi
 
 # Quick engine hot-path numbers (events/sec, allocs/op).
 bench-smoke:
@@ -29,7 +47,7 @@ cover:
 	$(GO) tool cover -html=cover.out -o cover.html
 	$(GO) tool cover -func=cover.out | tail -1
 
-# The full gate: vet, race on the concurrency-bearing packages, the
-# regular test suite (which includes the engine alloc-regression guard),
-# and the hot-path bench smoke.
-ci: vet race test bench-smoke
+# The full gate: vet, the invariant lint suite, race on the
+# concurrency-bearing packages, the regular test suite (which includes
+# the engine alloc-regression guard), and the hot-path bench smoke.
+ci: vet lint race test bench-smoke

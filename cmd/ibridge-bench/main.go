@@ -123,24 +123,27 @@ func main() {
 	if *metrics {
 		set.WriteMetrics(os.Stderr)
 	}
-	if *traceTo != "" {
-		if err := writeTrace(set, *traceTo); err != nil {
+	if tr := set.Tracer(); tr != nil && *traceTo != "" {
+		if err := writeTrace(tr, *traceTo); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		logger.Infof("trace: %d events written to %s (load in chrome://tracing)",
-			set.Tracer().Len(), *traceTo)
+			tr.Len(), *traceTo)
 	}
 }
 
 // writeTrace dumps the buffered request-flow trace as Chrome trace_event
 // JSON.
-func writeTrace(set *obs.Set, path string) error {
+func writeTrace(tr *obs.Tracer, path string) error {
+	if tr == nil {
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := set.Tracer().WriteChrome(f); err != nil {
+	if err := tr.WriteChrome(f); err != nil {
 		f.Close()
 		return fmt.Errorf("trace %s: %w", path, err)
 	}

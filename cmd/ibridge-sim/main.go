@@ -123,18 +123,20 @@ func main() {
 		set.WriteMetrics(os.Stdout)
 		set.WriteTiSeries(os.Stdout)
 	}
-	if *traceTo != "" {
+	// Tracer() is non-nil exactly when -trace enabled it above; binding
+	// it keeps the nil-sink contract checkable (obsnil analyzer).
+	if tr := set.Tracer(); tr != nil && *traceTo != "" {
 		f, err := os.Create(*traceTo)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := set.Tracer().WriteChrome(f); err != nil {
+		if err := tr.WriteChrome(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d events written to %s (load in chrome://tracing)\n",
-			set.Tracer().Len(), *traceTo)
+			tr.Len(), *traceTo)
 	}
 }

@@ -1,0 +1,138 @@
+package analyzers_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analysistest"
+)
+
+// TestDetClock exercises the wall-clock/math-rand ban: seeded
+// violations inside the deterministic surface, the sanctioned sim.RNG
+// and duration-constant forms, non-deterministic packages (allowed),
+// the sim/rng.go exemption, and documented suppressions.
+func TestDetClock(t *testing.T) {
+	cases := []struct {
+		name, dir, asPath string
+	}{
+		{"pos", "testdata/src/detclock/pos", "repro/internal/hdd"},
+		{"neg", "testdata/src/detclock/neg", "repro/internal/hdd"},
+		{"outside-det-surface", "testdata/src/detclock/outside", "repro/internal/pfsnet"},
+		{"rng-source-exempt", "testdata/src/detclock/rngexempt", "repro/internal/sim"},
+		{"allow-directive", "testdata/src/detclock/allow", "repro/internal/hdd"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, analyzers.DetClock, tc.dir, tc.asPath)
+		})
+	}
+}
+
+// TestDetMapRange exercises the iteration-order-escape checks and the
+// collect-then-sort negative cases.
+func TestDetMapRange(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.DetMapRange, "testdata/src/detmaprange/pos", "repro/internal/fixture/maprange")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.DetMapRange, "testdata/src/detmaprange/neg", "repro/internal/fixture/maprange")
+	})
+}
+
+// TestObsNil exercises the nil-sink contract: unguarded bundle and
+// tracer dereferences (including through closures and unguardable call
+// chains) versus every guarded idiom used in the tree.
+func TestObsNil(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.ObsNil, "testdata/src/obsnil/pos", "repro/internal/fixture/obsfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.ObsNil, "testdata/src/obsnil/neg", "repro/internal/fixture/obsfix")
+	})
+}
+
+// TestLockIO exercises the no-I/O-under-lock discipline: socket, file,
+// and ObjectStore calls inside critical sections versus
+// snapshot-then-act, in-memory-only, and documented serial-by-design
+// holds.
+func TestLockIO(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.LockIO, "testdata/src/lockio/pos", "repro/internal/fixture/lockfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.LockIO, "testdata/src/lockio/neg", "repro/internal/fixture/lockfix")
+	})
+}
+
+// TestMalformedDirective: a //lint:allow with no reason is itself
+// reported and does not suppress the finding under it.
+func TestMalformedDirective(t *testing.T) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs("testdata/src/detclock/malformed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "repro/internal/hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analyzers.RunAnalyzers([]*analyzers.Analyzer{analyzers.DetClock}, []*analyzers.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (malformed directive + unsuppressed finding), got %d: %+v", len(diags), diags)
+	}
+	var sawMalformed, sawFinding bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed //lint:allow") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "wall-clock") {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed || !sawFinding {
+		t.Fatalf("want both the malformed-directive report and the unsuppressed finding, got %+v", diags)
+	}
+}
+
+// TestByName covers multichecker analyzer selection.
+func TestByName(t *testing.T) {
+	as, err := analyzers.ByName("detclock, lockio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "detclock" || as[1].Name != "lockio" {
+		t.Fatalf("unexpected selection: %+v", as)
+	}
+	if _, err := analyzers.ByName("nosuch"); err == nil {
+		t.Fatal("want error for unknown analyzer")
+	}
+	if as, err := analyzers.ByName(""); err != nil || len(as) != len(analyzers.All()) {
+		t.Fatalf("empty selection should yield the whole suite, got %v, %v", as, err)
+	}
+}
+
+// TestVetCleanOnTree is the repo gate in test form: the whole invariant
+// suite must run clean over every package, exactly as `make lint` (via
+// cmd/ibridge-vet ./...) requires.
+func TestVetCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var buf bytes.Buffer
+	n, err := analyzers.Vet(".", []string{"./..."}, analyzers.All(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("invariant suite found %d finding(s) on the tree:\n%s", n, buf.String())
+	}
+}

@@ -1,0 +1,302 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMapRange flags the classic nondeterminism leak: iterating a map
+// and letting the iteration order escape — into a slice that is never
+// sorted, into an output writer, into a return value, or into an
+// outer variable that the function returns (the "first error wins"
+// pattern, where *which* error wins depends on hash seed). The
+// accepted fixes are sorting the collected slice afterwards or
+// documenting the site with //lint:allow detmaprange <reason> when
+// order is provably immaterial.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "flag map iteration whose order escapes unsorted into appends, writers, or returns",
+	Run:  runDetMapRange,
+}
+
+// writerSinkNames are methods/functions that emit bytes in call order.
+var writerSinkNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sortCallNames identify the sort.* / slices.* entry points that fix an
+// unordered collection.
+var sortCallNames = map[string]bool{
+	"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+	"SortFunc": true, "SortStableFunc": true,
+}
+
+func runDetMapRange(pass *Pass) error {
+	pm := newParentMap(pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil {
+				return true
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, pm, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+type appendSink struct {
+	obj types.Object
+	key string // lexical key of the append target
+	pos ast.Node
+}
+
+type assignSink struct {
+	obj types.Object
+	pos ast.Node
+}
+
+func checkMapRange(pass *Pass, pm parentMap, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	tainted := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	mentionsTaint := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && tainted[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	declaredOutside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() >= rs.End())
+	}
+
+	var appends []appendSink
+	var assigns []assignSink
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			anyTaint := false
+			for _, r := range n.Rhs {
+				if mentionsTaint(r) {
+					anyTaint = true
+					break
+				}
+			}
+			if !anyTaint {
+				return true
+			}
+			for i, l := range n.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					tainted[obj] = true // new inner var derived from iteration
+					continue
+				}
+				obj := info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				if !declaredOutside(obj) {
+					tainted[obj] = true
+					continue
+				}
+				if n.Tok != token.ASSIGN {
+					// Compound accumulation (+=, |=, ...): integer and
+					// boolean folds commute, so only floating-point and
+					// string accumulation are order-sensitive.
+					if b, ok := obj.Type().Underlying().(*types.Basic); ok &&
+						b.Info()&(types.IsInteger|types.IsUnsigned|types.IsBoolean) != 0 {
+						tainted[obj] = true
+						continue
+					}
+					assigns = append(assigns, assignSink{obj: obj, pos: n})
+					tainted[obj] = true
+					continue
+				}
+				// Plain assignment of iteration-derived data to an
+				// outer variable. append(x, ...) back into x is the
+				// collect-then-sort idiom; anything else is a
+				// value chosen by map order.
+				if len(n.Rhs) == len(n.Lhs) {
+					if call, ok := n.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(info, call) {
+						appends = append(appends, appendSink{obj: obj, key: exprKey(id), pos: n})
+						tainted[obj] = true
+						continue
+					}
+				}
+				assigns = append(assigns, assignSink{obj: obj, pos: n})
+				tainted[obj] = true
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !writerSinkNames[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentionsTaint(arg) {
+					pass.Reportf(n.Pos(), "map iteration order leaks into output via %s.%s; collect and sort before emitting", exprKey(sel.X), sel.Sel.Name)
+					break
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if mentionsTaint(r) {
+					pass.Reportf(n.Pos(), "return inside map range yields an element chosen by iteration order")
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	fn := pm.enclosingFunc(rs)
+	if fn == nil {
+		return
+	}
+	for _, s := range appends {
+		if !sortedAfter(info, fn, rs, s.key) {
+			pass.Reportf(s.pos.Pos(), "slice %s collects map keys/values but is never sorted; iteration order leaks (sort it, or //lint:allow detmaprange <reason>)", s.key)
+		}
+	}
+	for _, s := range assigns {
+		if returnsObj(info, fn, s.obj) {
+			pass.Reportf(s.pos.Pos(), "%s is chosen by map iteration order and returned; iterate sorted keys instead", s.obj.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether a sort.*/slices.* call mentioning key
+// appears after the range statement inside fn.
+func sortedAfter(info *types.Info, fn ast.Node, rs *ast.RangeStmt, key string) bool {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !sortCallNames[sel.Sel.Name] {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[pkg].(*types.PkgName); !ok || (pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsKey(arg, key) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsKey reports whether the expression contains a sub-expression
+// whose lexical key matches key (so sort.Sort(byOff(hits)) counts for
+// "hits").
+func mentionsKey(e ast.Expr, key string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if expr, ok := n.(ast.Expr); ok && exprKey(expr) == key {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// returnsObj reports whether any return statement in fn mentions obj,
+// or obj is one of fn's named results.
+func returnsObj(info *types.Info, fn ast.Node, obj types.Object) bool {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body, ftype = fn.Body, fn.Type
+	case *ast.FuncLit:
+		body, ftype = fn.Body, fn.Type
+	}
+	if ftype != nil && ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return !found
+		}
+		for _, r := range ret.Results {
+			ast.Inspect(r, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

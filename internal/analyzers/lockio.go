@@ -1,0 +1,203 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockIO encodes the logMu lesson from PR 3: blocking I/O performed
+// while a mutex acquired in the same function is still held serializes
+// every other path through that lock behind the kernel — the exact
+// defect that collapsed the concurrent pfsnet server's throughput
+// before s.mu was split. The analyzer walks each function in source
+// order, tracks sync.Mutex / sync.RWMutex acquisitions, and flags
+// method calls that perform blocking I/O (net.Conn, *os.File, bufio,
+// io interfaces, ObjectStore) made before the lock is released.
+// Deliberate holds (e.g. a flush that must be atomic with respect to
+// writers) are documented with //lint:allow lockio <reason>.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "flag blocking I/O performed while a mutex acquired in the same function is held",
+	Run:  runLockIO,
+}
+
+// ioMethodNames are method names that (on an I/O-bearing receiver)
+// block on the kernel or a peer.
+var ioMethodNames = map[string]bool{
+	"Read": true, "Write": true, "ReadAt": true, "WriteAt": true,
+	"ReadFrom": true, "WriteTo": true, "Flush": true, "Close": true,
+	"Accept": true, "ReadString": true, "ReadBytes": true,
+}
+
+// lockEvent is one ordered occurrence inside a function body.
+type lockEvent struct {
+	pos      token.Pos
+	kind     int    // 0 lock, 1 unlock, 2 io call
+	key      string // lock expression ("s.mu"), for kinds 0/1
+	deferred bool   // kind 1: defer mu.Unlock() holds to function end
+	desc     string // kind 2: human-readable call description
+}
+
+func runLockIO(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockIO(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockIO(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockIO sweeps one function body (excluding nested function
+// literals, which run on their own goroutine or schedule) in source
+// order and reports I/O calls made between a lock acquisition and its
+// release.
+func checkLockIO(pass *Pass, body *ast.BlockStmt) {
+	var events []lockEvent
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // analyzed separately
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				return false
+			case *ast.CallExpr:
+				if ev, ok := classifyCall(pass, m, inDefer); ok {
+					events = append(events, ev)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]token.Pos{}
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			held[ev.key] = ev.pos
+		case 1:
+			if !ev.deferred {
+				delete(held, ev.key)
+			}
+		case 2:
+			for key, at := range held {
+				pass.Reportf(ev.pos, "blocking I/O %s while %s (locked at line %d) is held; move the I/O outside the critical section or //lint:allow lockio <reason>",
+					ev.desc, key, pass.Fset.Position(at).Line)
+			}
+		}
+	}
+}
+
+// classifyCall decides whether call is a lock operation or a blocking
+// I/O method call.
+func classifyCall(pass *Pass, call *ast.CallExpr, inDefer bool) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if !isSyncMutexMethod(pass, sel) {
+			return lockEvent{}, false
+		}
+		key := lockKey(sel)
+		if key == "" {
+			return lockEvent{}, false
+		}
+		kind := 0
+		if name == "Unlock" || name == "RUnlock" {
+			kind = 1
+		}
+		return lockEvent{pos: call.Pos(), kind: kind, key: key, deferred: inDefer}, true
+	}
+	if !ioMethodNames[name] {
+		return lockEvent{}, false
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if recvType == nil || !isBlockingIOReceiver(recvType, name) {
+		return lockEvent{}, false
+	}
+	desc := name
+	if k := exprKey(sel.X); k != "" {
+		desc = k + "." + name
+	}
+	return lockEvent{pos: call.Pos(), kind: 2, desc: desc}, true
+}
+
+// isSyncMutexMethod reports whether sel resolves to a method of
+// sync.Mutex or sync.RWMutex (directly or through embedding).
+func isSyncMutexMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Pkg() != nil && o.Pkg().Path() == "sync" &&
+		(o.Name() == "Mutex" || o.Name() == "RWMutex")
+}
+
+// lockKey names the mutex being operated on: "s.mu" for s.mu.Lock(),
+// or the receiver itself ("s") for an embedded mutex's s.Lock().
+func lockKey(sel *ast.SelectorExpr) string {
+	return exprKey(sel.X)
+}
+
+// ioPkgAllowlist are packages whose named types do I/O when their
+// Read/Write/Close-shaped methods are invoked.
+var ioPkgAllowlist = map[string]bool{
+	"os": true, "net": true, "bufio": true, "io": true,
+}
+
+// isBlockingIOReceiver reports whether a method named name on a value
+// of type t plausibly blocks on I/O. Concrete in-memory types
+// (bytes.Buffer, strings.Builder, MemStore, ...) are excluded: only
+// named types from os/net/bufio/io, and interface types that include
+// the method themselves (net.Conn, io.Reader, ObjectStore, ...),
+// count. Interfaces count because the concrete value behind them is
+// unknown — the contract must hold for the slowest implementation.
+func isBlockingIOReceiver(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && ioPkgAllowlist[pkg.Path()] {
+			return true
+		}
+		t = named.Underlying()
+	}
+	if iface, ok := t.(*types.Interface); ok {
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

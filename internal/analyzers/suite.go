@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// All returns the full invariant suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{DetClock, DetMapRange, ObsNil, LockIO}
+}
+
+// ByName resolves a comma-separated analyzer list ("detclock,lockio");
+// empty selects the whole suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists the suite's analyzer names.
+func Names() []string {
+	var ns []string
+	for _, a := range All() {
+		ns = append(ns, a.Name)
+	}
+	return ns
+}
+
+// Vet loads patterns (resolved against the enclosing module of
+// startDir), runs the selected analyzers, writes findings to w, and
+// returns the number of findings.
+func Vet(startDir string, patterns []string, as []*Analyzer, w io.Writer) (int, error) {
+	loader, err := NewLoader(startDir)
+	if err != nil {
+		return 0, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	diags, err := RunAnalyzers(as, pkgs)
+	if err != nil {
+		return 0, err
+	}
+	fset := loader.fset
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,19 @@
+// Fixture: suppression directives. A documented //lint:allow silences
+// a finding; a directive without a reason is itself reported and does
+// not suppress. Loaded under the import path repro/internal/hdd.
+package allow
+
+import "time"
+
+// Calibrate is waived with a documented directive: no finding.
+func Calibrate() time.Time {
+	//lint:allow detclock one-off calibration helper, not used in simulation paths
+	return time.Now()
+}
+
+// WrongAnalyzer is waived for the wrong analyzer: the finding still
+// fires.
+func WrongAnalyzer() time.Time {
+	//lint:allow lockio reason that names the wrong analyzer
+	return time.Now() // want "wall-clock"
+}

@@ -1,0 +1,12 @@
+// Fixture for TestMalformedDirective: a //lint:allow with no reason
+// must be reported itself and must NOT suppress the finding below it.
+// No want comments — the test asserts the diagnostics directly.
+package malformed
+
+import "time"
+
+// Broken tries to waive without documenting why.
+func Broken() time.Time {
+	//lint:allow detclock
+	return time.Now()
+}

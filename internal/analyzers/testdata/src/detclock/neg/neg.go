@@ -1,0 +1,28 @@
+// Fixture: the sanctioned forms inside a deterministic package —
+// duration constants, sim.Time arithmetic, and the seeded sim.RNG.
+// Loaded under the import path repro/internal/hdd; must be clean.
+package neg
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// tick is a plain duration constant; only wall-clock entry points are
+// banned.
+const tick = 5 * time.Millisecond
+
+// Service advances simulated time deterministically.
+func Service(now sim.Time, d sim.Duration) sim.Time {
+	return now.Add(d)
+}
+
+// Draw uses the explicitly seeded generator from sim/rng.go.
+func Draw(seed uint64) int {
+	rng := sim.NewRNG(seed)
+	return rng.Intn(16)
+}
+
+// Delay converts the constant; no wall clock involved.
+func Delay() time.Duration { return tick }

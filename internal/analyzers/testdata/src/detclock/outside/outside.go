@@ -1,0 +1,11 @@
+// Fixture: wall-clock use outside the deterministic surface. Loaded
+// under the import path repro/internal/pfsnet (real network code is
+// allowed to read real clocks); must be clean.
+package outside
+
+import "time"
+
+// Deadline stamps a real wall-clock deadline for a network exchange.
+func Deadline() time.Time {
+	return time.Now().Add(5 * time.Second)
+}

@@ -1,0 +1,22 @@
+// Fixture: a deterministic-simulation package reaching for wall-clock
+// time and the global math/rand generator. Loaded by the detclock test
+// under the import path repro/internal/hdd.
+package pos
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+// Jitter draws timing from sources the simulation must never touch.
+func Jitter() time.Duration {
+	start := time.Now()          // want "wall-clock"
+	time.Sleep(time.Millisecond) // want "wall-clock"
+	_ = rand.Intn(4)
+	return time.Since(start) // want "wall-clock"
+}
+
+// Tick leaks wall-clock scheduling into the model.
+func Tick() {
+	<-time.After(time.Second) // want "wall-clock"
+}

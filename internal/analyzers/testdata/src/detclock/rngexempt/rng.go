@@ -1,0 +1,12 @@
+// Fixture: the one sanctioned randomness source file. Loaded under the
+// import path repro/internal/sim as file rng.go, which detclock
+// exempts; must be clean even though it touches banned names.
+package rngexempt
+
+import "time"
+
+// Reseed derives a seed from the wall clock — allowed only here, in
+// the simulation's single explicit randomness source.
+func Reseed() uint64 {
+	return uint64(time.Now().UnixNano())
+}

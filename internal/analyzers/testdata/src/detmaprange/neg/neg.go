@@ -1,0 +1,80 @@
+// Fixture: the sanctioned patterns — collect-then-sort (both sort and
+// slices flavors), commutative integer folds, counting, and in-place
+// mutation. Must be clean.
+package neg
+
+import (
+	"slices"
+	"sort"
+)
+
+// SortedKeys is the canonical fix: collect, then sort.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SlicesSorted uses the slices package instead.
+func SlicesSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+type pair struct {
+	k string
+	v int
+}
+
+// SortSlice covers the sort.Slice comparator form on a struct
+// collection.
+func SortSlice(m map[string]int) []pair {
+	var ps []pair
+	for k, v := range m {
+		ps = append(ps, pair{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	return ps
+}
+
+// SumInt folds integers, which commute regardless of order.
+func SumInt(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Count never looks at the elements at all.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Clear mutates the map in place; no order leaves the loop.
+func Clear(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Allowed documents an intentionally unordered snapshot.
+func Allowed(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		//lint:allow detmaprange snapshot feeds an order-insensitive aggregate
+		vs = append(vs, v)
+	}
+	return vs
+}

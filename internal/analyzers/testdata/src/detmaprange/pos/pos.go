@@ -1,0 +1,50 @@
+// Fixture: map iteration order escaping — unsorted collection, direct
+// output, returns, and order-picked outer assignment.
+package pos
+
+import "fmt"
+
+// Keys collects map keys but never sorts them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "never sorted"
+	}
+	return out
+}
+
+// Emit writes during iteration, leaking hash order into the output.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "leaks into output"
+	}
+}
+
+// Pick returns whichever element the runtime hands over first.
+func Pick(m map[string]int) int {
+	for _, v := range m {
+		return v // want "chosen by iteration order"
+	}
+	return 0
+}
+
+// FirstErr captures "the first" error — but which one is first depends
+// on the hash seed.
+func FirstErr(m map[string]error) error {
+	var first error
+	for _, err := range m {
+		if err != nil && first == nil {
+			first = err // want "chosen by map iteration order and returned"
+		}
+	}
+	return first
+}
+
+// SumFloat accumulates floats, whose rounding depends on order.
+func SumFloat(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "chosen by map iteration order and returned"
+	}
+	return s
+}

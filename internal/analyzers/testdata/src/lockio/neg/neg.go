@@ -1,0 +1,68 @@
+// Fixture: the disciplined patterns — snapshot under the lock, I/O
+// outside it; in-memory work under the lock; goroutines with their own
+// scope; and a documented serial-by-design waiver. Must be clean.
+package neg
+
+import (
+	"bytes"
+	"net"
+	"sync"
+)
+
+type srv struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	buf   bytes.Buffer
+}
+
+// SnapshotThenClose is the fixed Close pattern: collect under the
+// lock, release, then do the blocking work.
+func (s *srv) SnapshotThenClose() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		//lint:allow detmaprange severing connections; close order is immaterial
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// MemoryOnly keeps only in-memory mutation inside the critical
+// section: bytes.Buffer writes never touch the kernel.
+func (s *srv) MemoryOnly(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf.Write(p)
+}
+
+// Spawned I/O runs on its own goroutine with its own (lock-free)
+// scope; the lock held at spawn time is not held where the I/O runs.
+func (s *srv) Spawned(c net.Conn, p []byte) {
+	s.mu.Lock()
+	go func() {
+		c.Read(p)
+	}()
+	s.mu.Unlock()
+}
+
+// SerialByDesign documents an intentional hold, v1-wire style.
+func (s *srv) SerialByDesign(c net.Conn, p []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockio strictly serial exchange; the mutex is the wire serialization
+	_, err := c.Write(p)
+	return err
+}
+
+// ReleasedBefore reads only after the lock is dropped.
+func (s *srv) ReleasedBefore(c net.Conn, p []byte) {
+	s.mu.Lock()
+	n := len(s.conns)
+	s.mu.Unlock()
+	if n > 0 {
+		c.Read(p)
+	}
+}

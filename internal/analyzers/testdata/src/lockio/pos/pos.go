@@ -1,0 +1,71 @@
+// Fixture: blocking I/O performed under a mutex acquired in the same
+// function — the contention pattern lockio exists to catch.
+package pos
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"repro/internal/pfsnet"
+)
+
+type srv struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// ReadUnderLock performs socket I/O between Lock and Unlock.
+func (s *srv) ReadUnderLock(c net.Conn, buf []byte) {
+	s.mu.Lock()
+	c.Read(buf) // want `c\.Read while s\.mu`
+	s.mu.Unlock()
+}
+
+// DeferHold shows that a deferred unlock keeps the lock held for the
+// whole function.
+func (s *srv) DeferHold(c net.Conn, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Write(buf) // want `c\.Write while s\.mu`
+	return err
+}
+
+// CloseUnderLock severs connections while still inside the critical
+// section (the pre-fix Close pattern of the pfsnet servers).
+func (s *srv) CloseUnderLock() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close() // want `c\.Close while s\.mu`
+	}
+	s.mu.Unlock()
+}
+
+type embedded struct {
+	sync.Mutex
+}
+
+// EmbeddedLock locks through an embedded mutex; the receiver itself is
+// the lock key.
+func (e *embedded) EmbeddedLock(w io.Writer, p []byte) {
+	e.Lock()
+	w.Write(p) // want `w\.Write while e `
+	e.Unlock()
+}
+
+// StoreUnderLock holds a lock across ObjectStore I/O (the logMu
+// lesson).
+func StoreUnderLock(mu *sync.Mutex, st pfsnet.ObjectStore, data []byte) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return st.WriteAt(1, 0, data) // want `st\.WriteAt while mu`
+}
+
+// FileUnderLock holds a RWMutex write lock across file-system I/O.
+func FileUnderLock(mu *sync.RWMutex, f *os.File, p []byte) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := f.ReadAt(p, 0) // want `f\.ReadAt while mu`
+	return err
+}

@@ -1,0 +1,40 @@
+// Fixture: violations of the obs nil-sink contract — bundle and tracer
+// dereferences with no dominating nil check.
+package pos
+
+import "repro/internal/obs"
+
+type comp struct {
+	m  *obs.PFSMetrics
+	tr *obs.Tracer
+}
+
+// Bad probes without guarding either sink.
+func (c *comp) Bad() {
+	c.m.Requests.Inc()              // want "without a dominating nil check"
+	c.tr.Instant(0, 0, "c", "x", 0) // want "without a dominating nil check"
+}
+
+// WrongGuard checks a different field than the one dereferenced.
+func (c *comp) WrongGuard() {
+	if c.tr != nil {
+		c.m.Requests.Inc() // want "without a dominating nil check"
+	}
+}
+
+// Chain dereferences an accessor result that can never be nil-checked.
+func Chain(s *obs.Set) int {
+	return s.Tracer().Len() // want "cannot be nil-checked"
+}
+
+// Closure shows that a guard outside a function literal does not
+// dominate the code inside it — the closure may run later, after the
+// bundle is swapped out.
+func Closure(c *comp) func() {
+	if c.m != nil {
+		return func() {
+			c.m.Requests.Inc() // want "without a dominating nil check"
+		}
+	}
+	return nil
+}

@@ -203,6 +203,7 @@ func (r *Registry) Render() string {
 	}
 	r.mu.Unlock()
 
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 	for _, hs := range hists {
 		s := hs.h
 		lines = append(lines, fmt.Sprintf("%-40s n=%d mean=%s p50=%s p95=%s p99=%s max=%s",

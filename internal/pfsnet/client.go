@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -231,18 +232,28 @@ func (c *conn) readLoop() {
 // call so no waiter ever hangs on a broken connection.
 func (c *conn) kill(err error) {
 	c.pendMu.Lock()
-	if c.failed == nil {
-		c.failed = err
-		close(c.dead)
-		c.nc.Close()
-		for tag, w := range c.pending {
-			delete(c.pending, tag)
-			w.err = err
-			close(w.done)
-		}
-		c.wm.setInflight(0)
+	if c.failed != nil {
+		c.pendMu.Unlock()
+		return
+	}
+	c.failed = err
+	close(c.dead)
+	waiters := make([]*wireCall, 0, len(c.pending))
+	for tag, w := range c.pending {
+		delete(c.pending, tag)
+		//lint:allow detmaprange waiters each unblock independently; completion order is unobservable
+		waiters = append(waiters, w)
 	}
 	c.pendMu.Unlock()
+	// Socket close and waiter wake-ups happen outside pendMu: Close can
+	// block in the kernel, and a woken waiter may immediately issue a
+	// follow-up call that needs the lock.
+	c.nc.Close()
+	for _, w := range waiters {
+		w.err = err
+		close(w.done)
+	}
+	c.wm.setInflight(0)
 }
 
 // close shuts the connection down. Pending v2 calls fail with
@@ -270,6 +281,10 @@ func (c *conn) callV1(op byte, payload []byte) ([]byte, error) {
 	if err := writeFrame(c.bw, ProtoV1, 0, op, payload); err != nil {
 		return nil, err
 	}
+	// v1 is strictly one exchange in flight per connection: the mutex
+	// IS the wire serialization, so holding it across the round trip is
+	// the protocol, not a contention bug.
+	//lint:allow lockio v1 wire is serial by design; c.mu is the per-connection wire serialization
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
@@ -680,6 +695,9 @@ func (c *Client) Flush(f *File) (int64, error) {
 			servers = append(servers, addr)
 		}
 		c.mu.Unlock()
+		// Flush in a stable order so multi-server error/byte totals do
+		// not depend on connection-map iteration order.
+		sort.Strings(servers)
 	}
 	var total int64
 	for _, addr := range servers {

@@ -67,11 +67,18 @@ func (s *MetaServer) Addr() string { return s.ln.Addr().String() }
 func (s *MetaServer) Close() error {
 	close(s.quit)
 	err := s.ln.Close()
+	// Snapshot under the lock, sever outside it: Close on a TCP conn
+	// can block, and handlers need connMu to unregister themselves.
 	s.connMu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		//lint:allow detmaprange severing connections; close order is immaterial
+		conns = append(conns, c)
 	}
 	s.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -168,14 +169,26 @@ func (s *FileStore) Size(file uint64) (int64, error) {
 
 // Close implements ObjectStore.
 func (s *FileStore) Close() error {
+	type handle struct {
+		id uint64
+		f  *os.File
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var first error
+	hs := make([]handle, 0, len(s.files))
 	for id, f := range s.files {
-		if err := f.Close(); err != nil && first == nil {
+		hs = append(hs, handle{id, f})
+	}
+	clear(s.files)
+	s.mu.Unlock()
+	// Close outside the lock (file close hits the kernel) and in id
+	// order, so which close error wins is deterministic rather than a
+	// function of map iteration order.
+	sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+	var first error
+	for _, h := range hs {
+		if err := h.f.Close(); err != nil && first == nil {
 			first = err
 		}
-		delete(s.files, id)
 	}
 	return first
 }
