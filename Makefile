@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke cover ci
+.PHONY: all build test race vet lint bench-smoke chaos-smoke cover ci
 
 all: build test vet lint
 
@@ -14,7 +14,7 @@ test:
 # runner, the simulation engine it fans out, the pipelined TCP
 # client/server, the cluster harness, and the shared metrics registry.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/pfsnet/... ./internal/cluster/... ./internal/obs/...
+	$(GO) test -race ./internal/runner/... ./internal/sim/... ./internal/pfsnet/... ./internal/cluster/... ./internal/obs/... ./internal/faults/...
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,20 @@ lint:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 
+# Chaos gate: the live TCP cluster under a canned fault plan (one server
+# crash+restart plus 1% connection resets) must complete with every byte
+# verified, and two runs of the same plan must print an identical chaos
+# summary — injected-fault and retry/breaker counts reproducible from
+# the seed.
+CHAOS_PLAN = seed=42; reset=1%; crash=srv1@60+60
+chaos-smoke:
+	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' | sed -n '/CHAOS SUMMARY/,$$p' > chaos-run1.txt
+	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' | sed -n '/CHAOS SUMMARY/,$$p' > chaos-run2.txt
+	@grep -q 'chaos: completed, data verified' chaos-run1.txt || { echo "chaos-smoke: run did not complete"; exit 1; }
+	@diff chaos-run1.txt chaos-run2.txt || { echo "chaos-smoke: summaries differ across identical runs"; exit 1; }
+	@echo "chaos-smoke: completed, byte-verified, reproducible:"; cat chaos-run1.txt
+	@rm -f chaos-run1.txt chaos-run2.txt
+
 # Coverage across all packages, with an HTML report in cover.html.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -49,5 +63,6 @@ cover:
 
 # The full gate: vet, the invariant lint suite, race on the
 # concurrency-bearing packages, the regular test suite (which includes
-# the engine alloc-regression guard), and the hot-path bench smoke.
-ci: vet lint race test bench-smoke
+# the engine alloc-regression guard), the hot-path bench smoke, and the
+# chaos smoke (fault-injected live cluster, reproducible summary).
+ci: vet lint race test bench-smoke chaos-smoke

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -43,8 +44,9 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
 		metrics = flag.Bool("metrics", false, "print the metrics registry and T_i telemetry to stderr")
 		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON request-flow trace to this file")
-		obsMS   = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
-		verbose = flag.Bool("v", false, "verbose: per-experiment host timings on stderr")
+		obsMS    = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
+		faultArg = flag.String("faults", "", "fault plan applied to every experiment cluster (see internal/faults; only ssdfail=srvN@DUR clauses act in simulation)")
+		verbose  = flag.Bool("v", false, "verbose: per-experiment host timings on stderr")
 	)
 	flag.Parse()
 
@@ -65,6 +67,15 @@ func main() {
 		SampleEvery: sim.Duration(*obsMS) * sim.Millisecond,
 	})
 	experiments.SetObs(set)
+	var plan *faults.Plan
+	if *faultArg != "" {
+		var err error
+		if plan, err = faults.Parse(*faultArg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		experiments.SetFaults(plan)
+	}
 
 	runner.SetJobs(*jobs)
 	s, err := experiments.ScaleByName(*scale)
@@ -120,6 +131,9 @@ func main() {
 	logger.Infof("%d experiments in %.1fs wall time, jobs=%d",
 		len(ids), time.Since(start).Seconds(), runner.Jobs())
 
+	if plan != nil {
+		logger.Infof("faults injected: %s", plan.CountsString())
+	}
 	if *metrics {
 		set.WriteMetrics(os.Stderr)
 	}

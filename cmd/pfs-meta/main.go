@@ -17,22 +17,38 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/pfsnet"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7000", "address to listen on")
-		unit    = flag.Int64("unit", 64*1024, "striping unit in bytes")
-		servers = flag.String("servers", "", "comma-separated data server addresses, in stripe order")
+		listen     = flag.String("listen", "127.0.0.1:7000", "address to listen on")
+		unit       = flag.Int64("unit", 64*1024, "striping unit in bytes")
+		servers    = flag.String("servers", "", "comma-separated data server addresses, in stripe order")
+		ioTimeout  = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline on each connection (0 = off)")
+		faultSpec  = flag.String("faults", "", "deterministic fault-injection plan (see internal/faults)")
+		faultScope = flag.String("fault-scope", "meta", "this server's scope label in the fault plan")
 	)
 	flag.Parse()
 	addrs := strings.Split(*servers, ",")
 	if *servers == "" || len(addrs) == 0 {
 		log.Fatal("pfs-meta: -servers is required")
 	}
-	ms, err := pfsnet.NewMetaServer(*listen, *unit, addrs)
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = faults.Parse(*faultSpec); err != nil {
+			log.Fatalf("pfs-meta: %v", err)
+		}
+	}
+	ms, err := pfsnet.NewMetaServerConfig(*listen, *unit, addrs, pfsnet.MetaConfig{
+		IOTimeout:  *ioTimeout,
+		FaultPlan:  plan,
+		FaultScope: *faultScope,
+	})
 	if err != nil {
 		log.Fatalf("pfs-meta: %v", err)
 	}

@@ -5,6 +5,8 @@
 //	pfs-server -listen 127.0.0.1:7001 -ibridge
 //	pfs-server -listen 127.0.0.1:7001 -workers 16
 //	pfs-server -listen 127.0.0.1:7001 -debug-addr 127.0.0.1:7071
+//	pfs-server -listen 127.0.0.1:7001 -io-timeout 10s \
+//	    -faults 'seed=1; reset=1%; ssdfail=srv0@100' -fault-scope srv0
 //
 // The server speaks wire protocol v2 (pipelined, multiplexed tagged
 // frames) with v2 clients and falls back to v1 per connection; -workers
@@ -27,6 +29,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
@@ -38,10 +41,20 @@ func main() {
 		dir       = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
 		workers   = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
 		maxProto  = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
-		stats     = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
-		debugAddr = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
+		stats      = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
+		ioTimeout  = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline on each connection (0 = off)")
+		faultSpec  = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=1; reset=1%; ssdfail=srv0@100' (see internal/faults)")
+		faultScope = flag.String("fault-scope", "srv0", "this server's scope label in the fault plan")
 	)
 	flag.Parse()
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = faults.Parse(*faultSpec); err != nil {
+			log.Fatalf("pfs-server: %v", err)
+		}
+	}
 	var store pfsnet.ObjectStore = pfsnet.NewMemStore()
 	if *dir != "" {
 		var err error
@@ -55,11 +68,14 @@ func main() {
 	// published as functions read at scrape time.
 	reg := obs.NewRegistry()
 	ds, err := pfsnet.NewDataServerConfig(*listen, pfsnet.ServerConfig{
-		Bridge:   *ibridge,
-		Store:    store,
-		Workers:  *workers,
-		MaxProto: *maxProto,
-		Obs:      reg,
+		Bridge:     *ibridge,
+		Store:      store,
+		Workers:    *workers,
+		MaxProto:   *maxProto,
+		Obs:        reg,
+		IOTimeout:  *ioTimeout,
+		FaultPlan:  plan,
+		FaultScope: *faultScope,
 	})
 	if err != nil {
 		log.Fatalf("pfs-server: %v", err)
@@ -95,4 +111,7 @@ func main() {
 	<-sig
 	log.Print("pfs-server: shutting down")
 	ds.Close()
+	if plan != nil {
+		log.Printf("pfs-server: faults injected: %s", plan.CountsString())
+	}
 }

@@ -20,6 +20,10 @@ var detPackages = map[string]bool{
 	"repro/internal/stripe":      true,
 	"repro/internal/workload":    true,
 	"repro/internal/experiments": true,
+	// The fault injector's schedules must be a pure function of the plan
+	// seed; its single sanctioned real timer (the latency effect) carries
+	// a //lint:allow waiver.
+	"repro/internal/faults": true,
 }
 
 // detClockExemptFile allows the one sanctioned randomness source: the

@@ -10,6 +10,7 @@ import (
 	"repro/internal/blktrace"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/faults"
 	"repro/internal/hdd"
 	"repro/internal/iosched"
 	"repro/internal/obs"
@@ -76,6 +77,12 @@ type Config struct {
 	// one run (metrics registry, request-flow tracer, T_i telemetry).
 	// nil disables instrumentation entirely — the zero-cost path.
 	Obs *obs.Set
+	// Faults, when set, applies the plan's simulated-device clauses:
+	// duration-triggered `ssdfail=srvN@DUR` clauses schedule an SSD
+	// failure on server N's bridge at virtual time DUR (IBridge mode
+	// only; the bridge degrades to the disk path). Wire-level clauses
+	// are ignored here — the simulated cluster has no sockets.
+	Faults *faults.Plan
 }
 
 // DefaultConfig mirrors the paper's evaluation platform: 8 data servers,
@@ -187,6 +194,14 @@ func New(cfg Config) (*Cluster, error) {
 			b.SetObs(bridgeM, tr, run)
 			c.Bridges = append(c.Bridges, b)
 			stores[i] = b
+			if at, ok := cfg.Faults.SSDFailAt(fmt.Sprintf("srv%d", i)); ok {
+				br, plan := b, cfg.Faults
+				e.Go(fmt.Sprintf("ssdfail%d", i), func(p *sim.Proc) {
+					p.Sleep(sim.Duration(at))
+					br.FailSSD(p)
+					plan.NoteSSDFail()
+				})
+			}
 		}
 	}
 	if cfg.Readahead {

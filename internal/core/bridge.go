@@ -39,6 +39,11 @@ type Bridge struct {
 
 	journal journal
 
+	// ssdFailed latches after an injected SSD-device failure: the cache
+	// is drained and dropped once, and every later request takes the
+	// disk path — graceful degradation, never data loss.
+	ssdFailed bool
+
 	stats Stats
 
 	// Observability sinks; all nil when disabled, so the hot path pays
@@ -187,7 +192,7 @@ func (b *Bridge) Serve(p *sim.Proc, r *pfs.IORequest) {
 
 func (b *Bridge) serveRead(p *sim.Proc, r *pfs.IORequest) {
 	// Cache lookup: fully covered reads are served from the SSD.
-	if segs, ok := b.table.covered(r.LBN, r.Sectors); ok {
+	if segs, ok := b.table.covered(r.LBN, r.Sectors); ok && !b.ssdFailed {
 		for _, s := range segs {
 			b.ssdQ.Submit(p, device.Request{Op: device.Read, LBN: s.ssdLBN, Sectors: s.n})
 			b.lru[s.e.class].touch(s.e)
@@ -211,7 +216,7 @@ func (b *Bridge) serveRead(p *sim.Proc, r *pfs.IORequest) {
 	for _, s := range b.table.dirtyOverlaps(r.LBN, r.Sectors) {
 		b.ssdQ.Submit(p, device.Request{Op: device.Read, LBN: s.ssdLBN, Sectors: s.n})
 	}
-	candidate := r.Fragment || r.Random
+	candidate := (r.Fragment || r.Random) && !b.ssdFailed
 	var ret, boost float64
 	if candidate {
 		ret, boost = b.evalReturn(r)
@@ -236,7 +241,7 @@ func (b *Bridge) serveRead(p *sim.Proc, r *pfs.IORequest) {
 }
 
 func (b *Bridge) serveWrite(p *sim.Proc, r *pfs.IORequest) {
-	candidate := r.Fragment || r.Random
+	candidate := (r.Fragment || r.Random) && !b.ssdFailed
 	if candidate {
 		if ret, boost := b.evalReturn(r); ret > 0 {
 			if b.writeToSSD(p, r, ret, classify(r)) {
@@ -422,6 +427,9 @@ func (b *Bridge) idle(now sim.Time) bool {
 func (b *Bridge) maintain(p *sim.Proc) {
 	for {
 		p.Sleep(b.cfg.IdleCheck)
+		if b.ssdFailed {
+			continue // no cache left to maintain
+		}
 		// Stage queued read data while the devices stay quiet.
 		for len(b.stage) > 0 && b.idle(p.Now()) {
 			it := b.stage[0]
@@ -504,6 +512,32 @@ func (b *Bridge) Flush(p *sim.Proc) {
 		}
 	}
 }
+
+// FailSSD simulates an SSD-device failure at the current simulated time:
+// dirty data is written back once (a controlled firmware degrade, not
+// torn metadata), every mapping is dropped, staged work is discarded,
+// and from then on the bridge serves everything from the disk. Eq. (2)'s
+// observation that the SSD leaves the disk's T unchanged is what makes
+// this a clean fallback: the cluster loses the acceleration, never the
+// bytes.
+func (b *Bridge) FailSSD(p *sim.Proc) {
+	if b.ssdFailed {
+		return
+	}
+	b.Flush(p)
+	for len(b.table.entries) > 0 {
+		b.dropEntry(b.table.entries[0])
+	}
+	b.stage = b.stage[:0]
+	b.ssdFailed = true
+	b.stats.SSDFailures++
+	if b.tr != nil {
+		b.tr.Instant(p.Now(), b.run, b.comp, "ssd-failed", 0)
+	}
+}
+
+// SSDFailed reports whether this bridge's SSD device has failed.
+func (b *Bridge) SSDFailed() bool { return b.ssdFailed }
 
 // DirtySectors returns the number of dirty cached sectors (for tests).
 func (b *Bridge) DirtySectors() int64 {

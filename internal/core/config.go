@@ -134,6 +134,9 @@ type Stats struct {
 	// PeakUsage is the maximum cache occupancy in bytes (the paper's
 	// Fig. 13 "SSD usage" metric).
 	PeakUsage int64
+	// SSDFailures counts injected SSD-device failures survived by
+	// degrading to the disk path (fault-plan chaos runs).
+	SSDFailures int64
 }
 
 // SSDServedBytes returns user bytes served at the SSD.
@@ -172,4 +175,5 @@ func (s *Stats) Add(other *Stats) {
 	s.StagedBytes += other.StagedBytes
 	s.WritebackBytes += other.WritebackBytes
 	s.PeakUsage += other.PeakUsage
+	s.SSDFailures += other.SSDFailures
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ssdfail", ssdFail)
+}
+
+// ssdFail measures graceful degradation when an SSD device dies mid-run:
+// the bridge drains its dirty data, drops the mapping table, and serves
+// everything from the disk thereafter. The run must still complete, and
+// its throughput should land between the healthy iBridge cluster and the
+// stock (disk-only) one — the cluster loses the acceleration, never the
+// data. The failure time comes from a fault plan's `ssdfail=srv0@DUR`
+// clause, so the whole scenario is reproducible from the plan's seed.
+func ssdFail(s Scale) (*stats.Table, error) {
+	t := &stats.Table{
+		ID:      "ssdfail",
+		Title:   "mpi-io-test 33KB, SSD-device failure at half of healthy runtime",
+		Columns: []string{"config", "MB/s", "SSD fraction", "ssd failures"},
+	}
+	const reqSize = 33 * kb
+
+	run := func(mode cluster.Mode, plan *faults.Plan) (cluster.Result, error) {
+		cfg := baseConfig(s, mode)
+		cfg.Faults = plan
+		res, _, err := mpiioRun(s, cfg, workload.MPIIOTestConfig{Procs: 16, RequestSize: reqSize, Write: true})
+		return res, err
+	}
+
+	// The healthy iBridge run calibrates the failure time: the plan
+	// kills srv0's SSD halfway through, which any scale survives.
+	healthy, err := run(cluster.IBridge, nil)
+	if err != nil {
+		return nil, err
+	}
+	half := sim.Duration(healthy.Elapsed+healthy.FlushTime) / 2
+	plan, err := faults.Parse(fmt.Sprintf("seed=1; ssdfail=srv0@%dns", int64(half)))
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name string
+		mode cluster.Mode
+		plan *faults.Plan
+	}
+	cases := []variant{
+		{"iBridge, healthy", cluster.IBridge, nil},
+		{"iBridge, srv0 SSD fails", cluster.IBridge, plan},
+		{"stock (disk only)", cluster.Stock, nil},
+	}
+	rows, err := runner.Map(len(cases), func(i int) ([]string, error) {
+		res := healthy
+		if i != 0 {
+			var err error
+			res, err = run(cases[i].mode, cases[i].plan)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []string{
+			cases[i].name,
+			mbps(res.ThroughputMBps()),
+			fmt.Sprintf("%.0f%%", res.SSDFraction*100),
+			fmt.Sprintf("%d", res.Bridge.SSDFailures),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.Note(fmt.Sprintf("fault plan: %s", plan.String()))
+	t.Note("expected shape: failed run completes, throughput between healthy iBridge and stock")
+	return t, nil
+}

@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// faultConn wraps a net.Conn with the plan's rate-driven faults. Only
+// Read and Write are intercepted; deadline and address plumbing pass
+// straight through so the resilience code under test sees a real conn.
+type faultConn struct {
+	net.Conn
+	plan  *Plan
+	scope string
+	// dead latches after an injected reset/partial so the victim conn
+	// stays broken (a real reset peer does not come back).
+	dead atomic.Bool
+}
+
+// WrapConn arms c with the plan's conn faults. A nil plan (or one with
+// no conn faults armed) returns c unchanged, so the no-plan path adds
+// neither an allocation nor an interface indirection.
+func (p *Plan) WrapConn(c net.Conn, scope string) net.Conn {
+	if p == nil || !p.hasConnFaults() {
+		return c
+	}
+	return &faultConn{Conn: c, plan: p, scope: scope}
+}
+
+func (p *Plan) hasConnFaults() bool {
+	return p.rates[kindReset].period > 0 ||
+		p.rates[kindPartial].period > 0 ||
+		p.rates[kindCorrupt].period > 0 ||
+		p.rates[kindLatency].period > 0
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, errReset
+	}
+	c.maybeSleep()
+	// Reset and partial-write schedules count conn writes: the write
+	// sequence is a pure function of the protocol traffic, unlike read
+	// sizes, which depend on TCP segmentation.
+	if c.plan.fire(kindReset) {
+		c.dead.Store(true)
+		c.Conn.Close()
+		return 0, errReset
+	}
+	if c.plan.fire(kindPartial) && len(b) > 1 {
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		c.dead.Store(true)
+		c.Conn.Close()
+		return n, errPartial
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, errReset
+	}
+	c.maybeSleep()
+	n, err := c.Conn.Read(b)
+	// Corruption clobbers one byte of whatever arrived. Firing is only
+	// approximately deterministic (read calls depend on segmentation);
+	// the deterministic acceptance plans use resets and crashes instead.
+	if n > 0 && c.plan.fire(kindCorrupt) {
+		i := int(splitmix(c.plan.seed^c.plan.ops[kindCorrupt].Load()) % uint64(n))
+		b[i] ^= 0xFF
+	}
+	return n, err
+}
+
+// maybeSleep injects the latency fault. This is the one intentionally
+// wall-clock effect in the subsystem: it changes *when* things happen,
+// never *which* faults fire.
+func (c *faultConn) maybeSleep() {
+	if c.plan.fire(kindLatency) {
+		n := c.plan.ops[kindLatency].Load()
+		time.Sleep(c.plan.latency(n)) //lint:allow detclock fault injector's real-timer latency effect
+	}
+}
+
+// faultListener wraps Accept so every inbound conn carries the faults.
+type faultListener struct {
+	net.Listener
+	plan  *Plan
+	scope string
+}
+
+// WrapListener arms every conn accepted from ln. Nil-plan passthrough.
+func (p *Plan) WrapListener(ln net.Listener, scope string) net.Listener {
+	if p == nil || !p.hasConnFaults() {
+		return ln
+	}
+	return &faultListener{Listener: ln, plan: p, scope: scope}
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.plan.WrapConn(c, l.scope), nil
+}
+
+// Dial dials with the plan's refusal fault and wraps the resulting conn.
+// With a nil plan it is exactly net.DialTimeout (or net.Dial when
+// timeout is zero).
+func (p *Plan) Dial(scope, network, addr string, timeout time.Duration) (net.Conn, error) {
+	if p != nil && p.fire(kindRefuse) {
+		return nil, errRefused
+	}
+	var c net.Conn
+	var err error
+	if timeout > 0 {
+		c, err = net.DialTimeout(network, addr, timeout)
+	} else {
+		c, err = net.Dial(network, addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.WrapConn(c, scope), nil
+}

@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Store is the object-store surface the injector can wrap. It is
+// structurally identical to pfsnet.ObjectStore (faults cannot import
+// pfsnet — pfsnet imports faults), so values assign both ways.
+type Store interface {
+	WriteAt(id uint64, off int64, data []byte) error
+	ReadAt(id uint64, off int64, n int64) ([]byte, error)
+	Size(id uint64) (int64, error)
+	Close() error
+}
+
+// ErrSSDFailed reports an operation against a store whose simulated SSD
+// device has failed.
+var ErrSSDFailed = fmt.Errorf("ssd device failed (%w)", ErrInjected)
+
+// faultStore counts writes toward a scheduled SSD-device failure and
+// fails all I/O once the device is down.
+type faultStore struct {
+	Store
+	plan   *Plan
+	writes atomic.Int64
+	limit  int64
+	failed atomic.Bool
+	onFail func()
+}
+
+// WrapStore arms s with scope's count-triggered SSD failure, if the plan
+// schedules one; otherwise (or on a nil plan) s is returned unchanged.
+// onFail, if non-nil, runs exactly once when the failure trips — the
+// data server uses it to drain its fragment log before the device dies,
+// modelling a controlled firmware degrade rather than torn metadata.
+func (p *Plan) WrapStore(s Store, scope string, onFail func()) Store {
+	if p == nil {
+		return s
+	}
+	n, ok := p.SSDFailWrites(scope)
+	if !ok {
+		return s
+	}
+	return &faultStore{Store: s, plan: p, limit: n, onFail: onFail}
+}
+
+func (s *faultStore) WriteAt(id uint64, off int64, data []byte) error {
+	if s.failed.Load() {
+		return ErrSSDFailed
+	}
+	if s.writes.Add(1) == s.limit {
+		s.fail()
+		return ErrSSDFailed
+	}
+	return s.Store.WriteAt(id, off, data)
+}
+
+func (s *faultStore) ReadAt(id uint64, off int64, n int64) ([]byte, error) {
+	if s.failed.Load() {
+		return nil, ErrSSDFailed
+	}
+	return s.Store.ReadAt(id, off, n)
+}
+
+func (s *faultStore) fail() {
+	if s.failed.Swap(true) {
+		return
+	}
+	s.plan.NoteSSDFail()
+	if s.onFail != nil {
+		s.onFail()
+	}
+}
+
+// Failed reports whether the wrapped device has tripped.
+func (s *faultStore) Failed() bool { return s.failed.Load() }

@@ -141,6 +141,21 @@ func (r *Registry) Hist(name string) *Hist {
 	return h
 }
 
+// CounterValues returns every counter's current value keyed by name.
+// Chaos tests use it as a reproducibility fingerprint: two runs of the
+// same workload under the same fault plan must produce identical maps
+// for the deterministic counters (retries, breaker transitions,
+// injected faults).
+func (r *Registry) CounterValues() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // RegisterFunc registers a derived metric computed on demand at
 // snapshot time (used by cmd/pfs-server to surface live server stats
 // through the same registry).

@@ -7,8 +7,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/stripe"
 )
@@ -41,15 +43,66 @@ type Client struct {
 	MaxProto int
 	// Obs, when set before the first request, receives wire-level
 	// metrics under "pfsnet.client.*" (frames, bytes, in-flight depth,
-	// send-queue wait).
+	// send-queue wait) and the resilience metrics (retries,
+	// deadline_exceeded, breaker state).
 	Obs *obs.Registry
 
-	mu   sync.Mutex
-	wm   *wireMetrics
-	meta *conn
-	data map[string][]*conn
-	next map[string]int
+	// DialTimeout bounds connection establishment, including protocol
+	// negotiation (0 = no timeout).
+	DialTimeout time.Duration
+	// IOTimeout bounds each frame exchange on a connection: a full v1
+	// round trip, or — on pipelined v2 connections — how long a pending
+	// reply may remain unanswered before the connection is declared
+	// dead with ErrDeadline. 0 disables I/O deadlines.
+	IOTimeout time.Duration
+	// RequestTimeout bounds one data sub-request across all retry
+	// attempts (0 = no bound beyond the per-attempt IOTimeout).
+	RequestTimeout time.Duration
+	// MaxRetries is the number of additional attempts after a transport
+	// failure of an idempotent data sub-request. NewClient defaults it
+	// to 2; set -1 to disable retries.
+	MaxRetries int
+	// RetryBackoff is the base pause before the first retry; each
+	// further attempt doubles it up to RetryBackoffMax, plus
+	// deterministic jitter drawn from Seed. NewClient defaults these to
+	// 2ms and 100ms.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// BreakerThreshold is the run of consecutive transport failures
+	// after which a data server is marked degraded: further requests
+	// fail fast with ErrServerDown while a single probe per window
+	// checks for recovery. NewClient defaults it to 4; set -1 to
+	// disable the breaker.
+	BreakerThreshold int
+	// Seed feeds the deterministic retry jitter (and is the knob that
+	// makes two chaos runs sleep identically).
+	Seed uint64
+	// FaultPlan, when set before the first request, injects the plan's
+	// connection faults into every connection this client dials;
+	// FaultScope labels them (default "client").
+	FaultPlan  *faults.Plan
+	FaultScope string
+
+	attempts  atomic.Uint64 // retry-jitter sequence
+	openCount atomic.Int64  // breakers currently open, for the gauge
+
+	mu       sync.Mutex
+	wm       *wireMetrics
+	rm       *resilienceMetrics
+	meta     *conn
+	data     map[string][]*conn
+	next     map[string]int
+	breakers map[string]*breaker
 }
+
+// Resilience defaults applied by NewClient. Overridable per client; -1
+// disables the corresponding mechanism.
+const (
+	defaultMaxRetries       = 2
+	defaultRetryBackoff     = 2 * time.Millisecond
+	defaultRetryBackoffMax  = 100 * time.Millisecond
+	defaultBreakerThreshold = 4
+)
 
 var errConnClosed = errors.New("pfsnet: connection closed")
 
@@ -57,11 +110,12 @@ var errConnClosed = errors.New("pfsnet: connection closed")
 // runs a writer and a reader goroutine and multiplexes tagged calls; a
 // v1 conn serializes one round trip at a time under mu.
 type conn struct {
-	nc  net.Conn
-	ver int
-	wm  *wireMetrics
-	br  *bufio.Reader
-	bw  *bufio.Writer
+	nc        net.Conn
+	ver       int
+	wm        *wireMetrics
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	ioTimeout time.Duration
 
 	// v1 state: mu is held across a full write+read round trip.
 	mu sync.Mutex
@@ -89,26 +143,65 @@ type wireCall struct {
 
 const connBufSize = 64 << 10
 
-// dialConn connects to addr and negotiates the protocol version.
-func dialConn(addr string, maxProto int, wm *wireMetrics) (*conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// dialOpts carries the per-client connection settings into dialConn.
+type dialOpts struct {
+	maxProto    int
+	wm          *wireMetrics
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	plan        *faults.Plan
+	scope       string
+}
+
+// dialOpts snapshots the client's connection settings (set before the
+// first request, per the field contracts, so reading them unlocked is
+// race-free).
+func (c *Client) dialOpts(wm *wireMetrics) dialOpts {
+	scope := c.FaultScope
+	if scope == "" {
+		scope = "client"
+	}
+	return dialOpts{
+		maxProto:    c.MaxProto,
+		wm:          wm,
+		dialTimeout: c.DialTimeout,
+		ioTimeout:   c.IOTimeout,
+		plan:        c.FaultPlan,
+		scope:       scope,
+	}
+}
+
+// dialConn connects to addr and negotiates the protocol version. The
+// dial is bounded by o.dialTimeout and the negotiation round trip by
+// o.ioTimeout; a fault plan, when armed, injects its dial refusals and
+// wraps the new connection.
+func dialConn(addr string, o dialOpts) (*conn, error) {
+	nc, err := o.plan.Dial(o.scope, "tcp", addr, o.dialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	c := &conn{
-		nc:  nc,
-		ver: ProtoV1,
-		wm:  wm,
-		br:  bufio.NewReaderSize(nc, connBufSize),
-		bw:  bufio.NewWriterSize(nc, connBufSize),
+		nc:        nc,
+		ver:       ProtoV1,
+		wm:        o.wm,
+		br:        bufio.NewReaderSize(nc, connBufSize),
+		bw:        bufio.NewWriterSize(nc, connBufSize),
+		ioTimeout: o.ioTimeout,
 	}
+	maxProto := o.maxProto
 	if maxProto <= 0 || maxProto > maxProtoVersion {
 		maxProto = maxProtoVersion
 	}
 	if maxProto >= ProtoV2 {
+		if c.ioTimeout > 0 {
+			nc.SetDeadline(time.Now().Add(c.ioTimeout))
+		}
 		if err := c.negotiate(maxProto); err != nil {
 			nc.Close()
-			return nil, err
+			return nil, wrapTimeout(err)
+		}
+		if c.ioTimeout > 0 {
+			nc.SetDeadline(time.Time{})
 		}
 	}
 	return c, nil
@@ -148,7 +241,7 @@ func (c *conn) negotiate(maxProto int) error {
 	case opError:
 		return nil // legacy peer: stay on v1
 	default:
-		return fmt.Errorf("pfsnet: unexpected hello reply opcode %d", fr.op)
+		return fmt.Errorf("pfsnet: unexpected hello reply opcode %d (%w)", fr.op, ErrCorruptFrame)
 	}
 }
 
@@ -185,17 +278,20 @@ func (c *conn) writeLoop() {
 			return
 		case w := <-c.sendq:
 			c.wm.observeQueueWait(w.enq)
+			if c.ioTimeout > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+			}
 			err := writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
 			n := len(w.payload)
 			putBuf(w.payload)
 			if err != nil {
-				c.kill(err)
+				c.kill(wrapTimeout(err))
 				return
 			}
 			c.wm.onTx(n)
 			if len(c.sendq) == 0 {
 				if err := c.bw.Flush(); err != nil {
-					c.kill(err)
+					c.kill(wrapTimeout(err))
 					return
 				}
 			}
@@ -203,12 +299,36 @@ func (c *conn) writeLoop() {
 	}
 }
 
-// readLoop demuxes tagged replies to their waiting callers.
+// pendingCount returns the number of registered in-flight calls.
+func (c *conn) pendingCount() int {
+	c.pendMu.Lock()
+	n := len(c.pending)
+	c.pendMu.Unlock()
+	return n
+}
+
+// readLoop demuxes tagged replies to their waiting callers. With an I/O
+// timeout configured it arms a read deadline whenever replies are
+// outstanding: a deadline expiring with calls pending means the server
+// has gone quiet mid-exchange, and the conn is killed with ErrDeadline
+// so every waiter unblocks promptly instead of stalling forever.
 func (c *conn) readLoop() {
 	for {
+		if c.ioTimeout > 0 {
+			if c.pendingCount() > 0 {
+				c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
+			} else {
+				c.nc.SetReadDeadline(time.Time{})
+			}
+		}
 		fr, err := readFrame(c.br, c.ver)
 		if err != nil {
-			c.kill(err)
+			if isTimeout(err) && c.pendingCount() == 0 {
+				// The deadline outlived the exchange it guarded; the conn
+				// is idle and at a frame boundary, so keep serving it.
+				continue
+			}
+			c.kill(wrapTimeout(err))
 			return
 		}
 		c.wm.onRx(len(fr.payload))
@@ -278,20 +398,28 @@ func (c *conn) call(op byte, payload []byte) ([]byte, error) {
 func (c *conn) callV1(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ioTimeout > 0 {
+		// One deadline covers the whole round trip; cleared on success
+		// so an idle pooled conn cannot expire between calls. A timed-out
+		// conn is left desynced mid-frame, but the caller drops it from
+		// the pool on any transport error, including this one.
+		c.nc.SetDeadline(time.Now().Add(c.ioTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.bw, ProtoV1, 0, op, payload); err != nil {
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	// v1 is strictly one exchange in flight per connection: the mutex
 	// IS the wire serialization, so holding it across the round trip is
 	// the protocol, not a contention bug.
 	//lint:allow lockio v1 wire is serial by design; c.mu is the per-connection wire serialization
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	c.wm.onTx(len(payload))
 	fr, err := readFrame(c.br, ProtoV1)
 	if err != nil {
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	c.wm.onRx(len(fr.payload))
 	return finishReply(fr.op, fr.payload)
@@ -326,6 +454,12 @@ func (c *conn) callPipelined(op byte, payload []byte) ([]byte, error) {
 		// payload copy never reached the writer.
 		putBuf(w.payload)
 	}
+	if c.ioTimeout > 0 {
+		// Push the reader's deadline out to cover this exchange.
+		// SetReadDeadline interrupts a Read already blocked with no
+		// deadline, so this re-arms a reader idling on a quiet conn.
+		c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
+	}
 	<-w.done
 	if w.err != nil {
 		return nil, w.err
@@ -345,7 +479,7 @@ func finishReply(op byte, payload []byte) ([]byte, error) {
 		return nil, err
 	default:
 		putBuf(payload)
-		return nil, fmt.Errorf("pfsnet: unexpected reply opcode %d", op)
+		return nil, fmt.Errorf("pfsnet: unexpected reply opcode %d (%w)", op, ErrCorruptFrame)
 	}
 }
 
@@ -362,13 +496,19 @@ type File struct {
 func (f *File) Layout() stripe.Layout { return f.layout }
 
 // NewClient returns a client of the file system whose metadata server is
-// at metaAddr.
+// at metaAddr, with the default resilience policy armed (bounded retries
+// with backoff, per-server breaker; no deadlines unless configured).
 func NewClient(metaAddr string) *Client {
 	return &Client{
-		metaAddr: metaAddr,
-		PoolSize: 4,
-		data:     make(map[string][]*conn),
-		next:     make(map[string]int),
+		metaAddr:         metaAddr,
+		PoolSize:         4,
+		MaxRetries:       defaultMaxRetries,
+		RetryBackoff:     defaultRetryBackoff,
+		RetryBackoffMax:  defaultRetryBackoffMax,
+		BreakerThreshold: defaultBreakerThreshold,
+		data:             make(map[string][]*conn),
+		next:             make(map[string]int),
+		breakers:         make(map[string]*breaker),
 	}
 }
 
@@ -410,6 +550,49 @@ func (c *Client) wireMetricsLocked() *wireMetrics {
 	return c.wm
 }
 
+// resMetrics lazily resolves the client's resilience metrics; nil when
+// Obs is unset (all methods on a nil *resilienceMetrics are no-ops).
+func (c *Client) resMetrics() *resilienceMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rm == nil && c.Obs != nil {
+		c.rm = newResilienceMetrics(c.Obs)
+	}
+	return c.rm
+}
+
+// breakerFor returns addr's breaker, creating it lazily; nil when the
+// breaker is disabled (every method on a nil *breaker is a no-op).
+func (c *Client) breakerFor(addr string) *breaker {
+	if c.BreakerThreshold < 0 {
+		return nil
+	}
+	th := c.BreakerThreshold
+	if th == 0 {
+		th = defaultBreakerThreshold
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.breakers == nil {
+		c.breakers = make(map[string]*breaker)
+	}
+	b := c.breakers[addr]
+	if b == nil {
+		b = &breaker{threshold: th}
+		c.breakers[addr] = b
+	}
+	return b
+}
+
+// ServerDegraded reports whether the client's breaker currently marks
+// the data server at addr degraded.
+func (c *Client) ServerDegraded(addr string) bool {
+	c.mu.Lock()
+	b := c.breakers[addr]
+	c.mu.Unlock()
+	return b.isOpen()
+}
+
 func (c *Client) metaConn() (*conn, error) {
 	c.mu.Lock()
 	if c.meta != nil {
@@ -418,10 +601,9 @@ func (c *Client) metaConn() (*conn, error) {
 		return cn, nil
 	}
 	wm := c.wireMetricsLocked()
-	maxProto := c.MaxProto
 	c.mu.Unlock()
 	// Dial outside the lock: negotiation is a network round trip.
-	cn, err := dialConn(c.metaAddr, maxProto, wm)
+	cn, err := dialConn(c.metaAddr, c.dialOpts(wm))
 	if err != nil {
 		return nil, err
 	}
@@ -452,9 +634,8 @@ func (c *Client) dataConn(addr string) (*conn, error) {
 		return cn, nil
 	}
 	wm := c.wireMetricsLocked()
-	maxProto := c.MaxProto
 	c.mu.Unlock()
-	cn, err := dialConn(addr, maxProto, wm)
+	cn, err := dialConn(addr, c.dialOpts(wm))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pool = c.data[addr]
@@ -489,29 +670,114 @@ func (c *Client) dropDataConn(addr string, cn *conn) {
 	}
 }
 
-// dataCall performs one request against a data server, transparently
-// redialling once if the pooled connection has died (e.g. the server
-// restarted). Read and write sub-requests are idempotent, so a retry is
-// safe.
+// dataCall performs one request against a data server under the client's
+// resilience policy: up to MaxRetries additional attempts on transport
+// failures (read and write sub-requests are idempotent, so retries are
+// safe), bounded exponential backoff with deterministic jitter between
+// attempts, a RequestTimeout budget across the whole sequence, and a
+// per-server breaker that fails fast with ErrServerDown once addr has
+// accumulated consecutive transport failures. Server-reported (remote)
+// errors are never retried — the request reached the server, which also
+// proves the server alive, so they count as breaker successes.
 func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) {
+	rm := c.resMetrics()
+	b := c.breakerFor(addr)
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var deadline time.Time
+	if c.RequestTimeout > 0 {
+		deadline = time.Now().Add(c.RequestTimeout)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		probe, err := b.acquire(addr)
+		if err != nil {
+			rm.onFastFail()
+			return nil, err
+		}
+		reply, err := c.tryDataCall(addr, op, payload)
+		if err == nil {
+			c.recordOutcome(b, rm, probe, true)
+			return reply, nil
+		}
+		if _, isRemote := err.(remoteError); isRemote {
+			c.recordOutcome(b, rm, probe, true)
+			return nil, err
+		}
+		c.recordOutcome(b, rm, probe, false)
+		if errors.Is(err, ErrDeadline) {
+			rm.onDeadline()
+		}
+		lastErr = err
+		if attempt >= retries {
+			return nil, lastErr
+		}
+		d := c.backoffDelay(attempt)
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			rm.onDeadline()
+			return nil, fmt.Errorf("pfsnet: %s: request budget exhausted after %d attempts (%w): %v",
+				addr, attempt+1, ErrDeadline, lastErr)
+		}
+		rm.onRetry()
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// tryDataCall is one attempt of a data request: take a pooled conn,
+// exchange, and drop the conn from the pool if the transport failed
+// under it so the next attempt redials.
+func (c *Client) tryDataCall(addr string, op byte, payload []byte) ([]byte, error) {
 	cn, err := c.dataConn(addr)
 	if err != nil {
 		return nil, err
 	}
 	reply, err := cn.call(op, payload)
-	if err == nil {
-		return reply, nil
-	}
-	if _, isRemote := err.(remoteError); isRemote {
-		return nil, err // the server answered; do not retry
-	}
-	// Transport failure: drop the connection and retry once.
-	c.dropDataConn(addr, cn)
-	cn, derr := c.dataConn(addr)
-	if derr != nil {
+	if err != nil {
+		if _, isRemote := err.(remoteError); !isRemote {
+			c.dropDataConn(addr, cn)
+		}
 		return nil, err
 	}
-	return cn.call(op, payload)
+	return reply, nil
+}
+
+// recordOutcome feeds an attempt result to the breaker and keeps the
+// open-breaker metrics in step with its state transitions.
+func (c *Client) recordOutcome(b *breaker, rm *resilienceMetrics, probe, ok bool) {
+	opened, closed := b.record(probe, ok)
+	if opened {
+		rm.onOpen(c.openCount.Add(1))
+	}
+	if closed {
+		rm.onClose(c.openCount.Add(-1))
+	}
+}
+
+// backoffDelay computes the pause before the retry following attempt
+// (0-based): RetryBackoff·2^attempt capped at RetryBackoffMax, plus
+// deterministic jitter of up to half the step drawn from the client
+// Seed and a global attempt sequence — bounded exponential backoff
+// whose timing is a pure function of the client's failure history.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base := c.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	maxd := c.RetryBackoffMax
+	if maxd <= 0 {
+		maxd = defaultRetryBackoffMax
+	}
+	d := base << uint(min(attempt, 20))
+	if d <= 0 || d > maxd {
+		d = maxd
+	}
+	n := c.attempts.Add(1)
+	jitter := time.Duration(faults.Mix64(c.Seed^n) % uint64(d/2+1))
+	return d + jitter
 }
 
 func (c *Client) fileFromReply(name string, payload []byte) (*File, error) {
@@ -531,16 +797,35 @@ func (c *Client) fileFromReply(name string, payload []byte) (*File, error) {
 	return f, f.layout.Validate()
 }
 
-// Create creates a file of the given size.
-func (c *Client) Create(name string, size int64) (*File, error) {
+// metaCall performs one metadata request. On a transport failure the
+// cached metadata connection is discarded so the next call redials
+// instead of failing forever against a dead socket.
+func (c *Client) metaCall(op byte, payload []byte) ([]byte, error) {
 	mc, err := c.metaConn()
 	if err != nil {
 		return nil, err
 	}
+	reply, err := mc.call(op, payload)
+	if err != nil {
+		if _, isRemote := err.(remoteError); !isRemote {
+			c.mu.Lock()
+			if c.meta == mc {
+				c.meta = nil
+			}
+			c.mu.Unlock()
+			mc.close()
+		}
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Create creates a file of the given size.
+func (c *Client) Create(name string, size int64) (*File, error) {
 	e := newEnc()
 	e.str(name)
 	e.i64(size)
-	reply, err := mc.call(opCreate, e.b)
+	reply, err := c.metaCall(opCreate, e.b)
 	putBuf(e.b)
 	if err != nil {
 		return nil, err
@@ -552,13 +837,9 @@ func (c *Client) Create(name string, size int64) (*File, error) {
 
 // Open opens an existing file.
 func (c *Client) Open(name string) (*File, error) {
-	mc, err := c.metaConn()
-	if err != nil {
-		return nil, err
-	}
 	e := newEnc()
 	e.str(name)
-	reply, err := mc.call(opOpen, e.b)
+	reply, err := c.metaCall(opOpen, e.b)
 	putBuf(e.b)
 	if err != nil {
 		return nil, err

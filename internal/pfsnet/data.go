@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -29,12 +30,22 @@ import (
 // fragment log and its mapping table are guarded by logMu, counters are
 // atomic, and object-store I/O runs outside both.
 type DataServer struct {
-	ln       net.Listener
-	bridge   bool
-	store    ObjectStore
-	workers  int
-	maxProto int
-	wm       *wireMetrics
+	ln        net.Listener
+	bridge    bool
+	store     ObjectStore
+	workers   int
+	maxProto  int
+	ioTimeout time.Duration
+	wm        *wireMetrics
+
+	// SSD-device failure state: when the fault plan schedules a device
+	// failure for this server (or FailSSD is called), the fragment log is
+	// drained once and the server degrades gracefully to the direct
+	// store path — iBridge's cache is an accelerator, so losing it must
+	// cost performance, never bytes.
+	plan         *faults.Plan
+	ssdDown      atomic.Bool
+	ssdFailAfter int64 // fragment-log writes until the device fails; 0 = never
 
 	// logMu guards the iBridge log region and its mapping table only;
 	// object-store reads and writes happen outside it.
@@ -42,9 +53,10 @@ type DataServer struct {
 	logData []byte // the "SSD" log region
 	table   map[extKey]extVal
 
-	ctr  dataCounters
-	wg   sync.WaitGroup
-	quit chan struct{}
+	ctr       dataCounters
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -66,6 +78,15 @@ type ServerConfig struct {
 	// Obs, when set, receives wire-level metrics under
 	// "pfsnet.server.*".
 	Obs *obs.Registry
+	// IOTimeout, when positive, bounds each frame read and reply write
+	// on every connection so a stalled or half-open peer cannot pin a
+	// handler goroutine forever. 0 (the default) disables deadlines.
+	IOTimeout time.Duration
+	// FaultPlan, when set, wraps the listener with the plan's connection
+	// faults and arms the plan's SSD-device failure for FaultScope.
+	FaultPlan *faults.Plan
+	// FaultScope is this server's name in the fault plan (e.g. "srv0").
+	FaultScope string
 }
 
 // DataStats counts server activity.
@@ -133,15 +154,20 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 		maxProto = maxProtoVersion
 	}
 	s := &DataServer{
-		ln:       ln,
-		bridge:   cfg.Bridge,
-		store:    store,
-		workers:  workers,
-		maxProto: maxProto,
-		wm:       newWireMetrics(cfg.Obs, "pfsnet.server."),
-		table:    make(map[extKey]extVal),
-		quit:     make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		ln:        cfg.FaultPlan.WrapListener(ln, cfg.FaultScope),
+		bridge:    cfg.Bridge,
+		store:     store,
+		workers:   workers,
+		maxProto:  maxProto,
+		ioTimeout: cfg.IOTimeout,
+		wm:        newWireMetrics(cfg.Obs, "pfsnet.server."),
+		plan:      cfg.FaultPlan,
+		table:     make(map[extKey]extVal),
+		quit:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	if n, ok := cfg.FaultPlan.SSDFailWrites(cfg.FaultScope); ok {
+		s.ssdFailAfter = n
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -168,9 +194,14 @@ func (s *DataServer) Stats() DataStats {
 
 // Close stops the server, flushes the log, and waits for connection
 // handlers to finish. Open client connections are severed (clients with
-// retry logic redial transparently).
+// retry logic redial transparently). Close is idempotent: chaos drivers
+// crash servers that a deferred cleanup later closes again.
 func (s *DataServer) Close() error {
-	close(s.quit)
+	var first bool
+	s.closeOnce.Do(func() { close(s.quit); first = true })
+	if !first {
+		return nil
+	}
 	err := s.ln.Close()
 	// Snapshot under the lock, sever outside it: Close on a TCP conn
 	// can block, and handlers need connMu to unregister themselves.
@@ -279,7 +310,7 @@ func (s *DataServer) serveConn(conn net.Conn) {
 	if hasFirst {
 		firstp = &first
 	}
-	serveFrames(br, bw, ProtoV1, firstp, s.wm, s.dispatch)
+	serveFrames(conn, br, bw, ProtoV1, firstp, s.wm, s.ioTimeout, s.dispatch)
 }
 
 // servePipelined runs the v2 per-connection pipeline: this goroutine
@@ -297,6 +328,9 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 		broken := false
 		for fr := range resp {
 			if !broken {
+				if s.ioTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+				}
 				if writeFrame(bw, ProtoV2, fr.tag, fr.op, fr.payload) != nil {
 					broken = true
 					conn.Close() // unblock the demux reader promptly
@@ -329,6 +363,9 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	}
 
 	for {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
 		fr, err := readFrame(br, ProtoV2)
 		if err != nil {
 			break
@@ -384,7 +421,7 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 	}
 	s.ctr.writes.Add(1)
 	s.ctr.wrBytes.Add(int64(len(data)))
-	if s.bridge && flags&1 != 0 {
+	if s.bridge && flags&1 != 0 && !s.ssdDown.Load() {
 		// iBridge path: append to the log, record the mapping, and
 		// invalidate overlapped older mappings.
 		s.logMu.Lock()
@@ -395,8 +432,15 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 		logOff := int64(len(s.logData))
 		s.logData = append(s.logData, data...)
 		s.table[extKey{file, off}] = extVal{logOff: logOff, length: int64(len(data))}
-		s.ctr.fragmentWrites.Add(1)
+		n := s.ctr.fragmentWrites.Add(1)
 		s.ctr.logBytes.Add(int64(len(data)))
+		if s.ssdFailAfter > 0 && n >= s.ssdFailAfter {
+			// The scheduled device failure trips on this write: drain the
+			// log (this write included) and degrade to the direct path.
+			if err := s.failSSDLocked(); err != nil {
+				return nil, err
+			}
+		}
 		return nil, nil
 	}
 	// Direct path; the write also supersedes any cached mapping. The
@@ -410,6 +454,32 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 	}
 	return nil, s.store.WriteAt(file, off, data)
 }
+
+// failSSDLocked executes the SSD-device failure (logMu held): the
+// fragment log is written back once and the server switches to the
+// direct store path for all subsequent flagged writes — graceful
+// degradation, the pfsnet analogue of the sim bridge handing fragments
+// back to the HDD.
+func (s *DataServer) failSSDLocked() error {
+	if s.ssdDown.Swap(true) {
+		return nil
+	}
+	s.plan.NoteSSDFail()
+	return s.flushLocked(0, true)
+}
+
+// FailSSD fails this server's SSD (fragment log) device immediately:
+// the log is drained back to the object store and all further flagged
+// writes take the direct path. Safe to call more than once.
+func (s *DataServer) FailSSD() error {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return s.failSSDLocked()
+}
+
+// SSDFailed reports whether the SSD device has failed (by schedule or
+// FailSSD) and the server is running degraded.
+func (s *DataServer) SSDFailed() bool { return s.ssdDown.Load() }
 
 // invalidateLocked drops log mappings overlapping [off, off+n), first
 // writing their current content back to the object so no data is lost

@@ -151,6 +151,12 @@ func TestPipelinedInFlightFailure(t *testing.T) {
 	if err := <-closed; err != nil {
 		t.Fatalf("server close: %v", err)
 	}
+	// The mass kill fed the breaker a run of transport failures well past
+	// its threshold: the server must be marked degraded before the
+	// restart, and the probe on the first post-restart call must clear it.
+	if !c.ServerDegraded(addr) {
+		t.Fatal("breaker did not open after mass in-flight failure")
+	}
 
 	// Restart on the same address; the client must redial transparently.
 	ds2, err := NewDataServerConfig(addr, ServerConfig{Store: NewMemStore()})
@@ -161,6 +167,9 @@ func TestPipelinedInFlightFailure(t *testing.T) {
 	payload := []byte("service restored")
 	if err := c.WriteAt(f, 0, payload); err != nil {
 		t.Fatalf("write after restart: %v", err)
+	}
+	if c.ServerDegraded(addr) {
+		t.Fatal("breaker still open after successful post-restart probe")
 	}
 	got := make([]byte, len(payload))
 	if err := c.ReadAt(f, 0, got); err != nil {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // FuzzReadMessage feeds arbitrary byte streams through the framing layer
@@ -149,6 +151,76 @@ func TestServerRejectsMalformedFrames(t *testing.T) {
 	c := NewClient(ms.Addr())
 	defer c.Close()
 	f, err := c.Create("after-garbage", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteAt(f, 0, []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedFramesThroughFaultyConns replays the malformed-frame
+// table through connections wrapped with an armed fault plan (partial
+// writes, corruption, latency), so the server sees the table's shapes
+// further mangled mid-stream. The server must reply or close within the
+// deadline — never hang, never panic — and must stay healthy for a
+// clean client afterwards.
+func TestMalformedFramesThroughFaultyConns(t *testing.T) {
+	ds, err := NewDataServer("127.0.0.1:0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	plan := faults.MustParse("seed=13; partial=1/4; corrupt=1/3; latency=1ms@1/2")
+
+	raws := [][]byte{
+		{0, 0},                           // truncated length prefix
+		{0xFF, 0xFF, 0xFF, 0xFF, opRead}, // oversize frame
+		{0, 0, 0, 0},                     // zero-length frame
+		append([]byte{0, 0, 0, 100, opRead}, 1, 2, 3), // short payload
+		{0, 0, 0, 2, 0xEE, 9},                         // unknown opcode
+	}
+	for round := 0; round < 4; round++ {
+		for _, raw := range raws {
+			nc, err := plan.Dial("fuzz", "tcp", ds.Addr(), time.Second)
+			if err != nil {
+				continue // injected dial fault; the point is server health
+			}
+			nc.Write(raw) // may be cut short or mangled by the plan
+			nc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+			readMessage(nc) // drain a reply if one comes; errors are fine
+			nc.Close()
+		}
+	}
+	if len(plan.Counts()) == 0 {
+		t.Fatal("plan injected nothing; test is vacuous")
+	}
+	// Every handler must observe its close: a frame mangled into a huge
+	// length must not pin a connection (and with it the handler) forever.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ds.connMu.Lock()
+		n := len(ds.conns)
+		ds.connMu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections leaked after faulty garbage", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server still serves a well-formed client over a faulty conn
+	// path with retries.
+	ms, err := NewMetaServer("127.0.0.1:0", 64*1024, []string{ds.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	c := NewClient(ms.Addr())
+	defer c.Close()
+	f, err := c.Create("after-faulty-garbage", 1<<20)
 	if err != nil {
 		t.Fatal(err)
 	}

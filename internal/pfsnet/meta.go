@@ -6,23 +6,27 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/faults"
 	"repro/internal/stripe"
 )
 
 // MetaServer is the metadata service: it owns the namespace and the
 // striping layout, and tells clients which data servers hold a file.
 type MetaServer struct {
-	ln      net.Listener
-	unit    int64
-	servers []string // data server addresses, in stripe order
+	ln        net.Listener
+	unit      int64
+	servers   []string // data server addresses, in stripe order
+	ioTimeout time.Duration
 
 	mu     sync.Mutex
 	files  map[string]fileMeta
 	nextID uint64
 
-	wg   sync.WaitGroup
-	quit chan struct{}
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -33,9 +37,26 @@ type fileMeta struct {
 	size int64
 }
 
+// MetaConfig configures a metadata server beyond the common defaults.
+type MetaConfig struct {
+	// IOTimeout, when positive, bounds each frame read and reply write
+	// so a stalled peer cannot pin a handler goroutine. 0 = off.
+	IOTimeout time.Duration
+	// FaultPlan, when set, wraps the listener with the plan's
+	// connection faults; FaultScope names this server in the plan.
+	FaultPlan  *faults.Plan
+	FaultScope string
+}
+
 // NewMetaServer starts a metadata server on addr for a file system
 // striped over the given data server addresses with the given unit.
 func NewMetaServer(addr string, unit int64, dataServers []string) (*MetaServer, error) {
+	return NewMetaServerConfig(addr, unit, dataServers, MetaConfig{})
+}
+
+// NewMetaServerConfig starts a metadata server with explicit
+// configuration.
+func NewMetaServerConfig(addr string, unit int64, dataServers []string, cfg MetaConfig) (*MetaServer, error) {
 	if unit <= 0 {
 		unit = stripe.DefaultUnit
 	}
@@ -47,13 +68,14 @@ func NewMetaServer(addr string, unit int64, dataServers []string) (*MetaServer, 
 		return nil, err
 	}
 	s := &MetaServer{
-		ln:      ln,
-		unit:    unit,
-		servers: append([]string(nil), dataServers...),
-		files:   make(map[string]fileMeta),
-		nextID:  1,
-		quit:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		ln:        cfg.FaultPlan.WrapListener(ln, cfg.FaultScope),
+		unit:      unit,
+		servers:   append([]string(nil), dataServers...),
+		ioTimeout: cfg.IOTimeout,
+		files:     make(map[string]fileMeta),
+		nextID:    1,
+		quit:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -63,9 +85,14 @@ func NewMetaServer(addr string, unit int64, dataServers []string) (*MetaServer, 
 // Addr returns the server's listen address.
 func (s *MetaServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server, severing open client connections.
+// Close stops the server, severing open client connections. It is
+// idempotent, like DataServer.Close.
 func (s *MetaServer) Close() error {
-	close(s.quit)
+	var first bool
+	s.closeOnce.Do(func() { close(s.quit); first = true })
+	if !first {
+		return nil
+	}
 	err := s.ln.Close()
 	// Snapshot under the lock, sever outside it: Close on a TCP conn
 	// can block, and handlers need connMu to unregister themselves.
@@ -125,7 +152,7 @@ func (s *MetaServer) serveConn(conn net.Conn) {
 	if hasFirst {
 		firstp = &first
 	}
-	serveFrames(br, bw, ver, firstp, nil, s.dispatch)
+	serveFrames(conn, br, bw, ver, firstp, nil, s.ioTimeout, s.dispatch)
 }
 
 // dispatch executes one metadata request.

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"net"
 	"sync"
 	"time"
 )
@@ -70,10 +71,24 @@ const (
 // single server).
 const MaxMessage = 64 << 20
 
-// Errors returned by the protocol layer.
+// Sentinel errors. Callers and tests classify failures with errors.Is
+// instead of string-matching.
 var (
-	ErrTooLarge = errors.New("pfsnet: message exceeds MaxMessage")
-	ErrShort    = errors.New("pfsnet: short/corrupt message")
+	// ErrCorruptFrame reports an inbound byte stream that is not a valid
+	// frame: an impossible length header, a truncated payload, or an
+	// opcode the protocol state machine cannot accept. ErrTooLarge and
+	// ErrShort wrap it.
+	ErrCorruptFrame = errors.New("pfsnet: corrupt frame")
+	// ErrDeadline reports a frame exchange that exceeded the configured
+	// I/O deadline (Client.IOTimeout / ServerConfig.IOTimeout).
+	ErrDeadline = errors.New("pfsnet: i/o deadline exceeded")
+	// ErrServerDown reports a request refused locally because the
+	// per-server breaker has marked the server degraded after
+	// consecutive transport failures.
+	ErrServerDown = errors.New("pfsnet: server degraded")
+
+	ErrTooLarge = fmt.Errorf("pfsnet: message exceeds MaxMessage (%w)", ErrCorruptFrame)
+	ErrShort    = fmt.Errorf("pfsnet: short/corrupt message (%w)", ErrCorruptFrame)
 )
 
 // message is a decoded v1 frame.
@@ -347,18 +362,39 @@ func serverHandshake(br *bufio.Reader, bw *bufio.Writer, maxProto int) (ver int,
 	return agreed, frame{}, false, nil
 }
 
+// isTimeout reports whether err is a net-level deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// wrapTimeout maps net-level timeout errors onto ErrDeadline so callers
+// can classify them with errors.Is; other errors pass through unchanged.
+func wrapTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%v (%w)", err, ErrDeadline)
+	}
+	return err
+}
+
 // serveFrames runs a sequential request loop at the given protocol
 // version: read a frame, dispatch it, reply with the echoed tag, flush.
 // This is the whole server for v1 connections (which require in-order
 // replies) and for low-rate services like the metadata server, where
 // handler concurrency buys nothing. first, when non-nil, is a frame the
-// handshake already read.
-func serveFrames(br *bufio.Reader, bw *bufio.Writer, ver int, first *frame, wm *wireMetrics, dispatch func(op byte, payload []byte) (byte, []byte)) {
+// handshake already read. ioTimeout, when positive, bounds each frame
+// read and each reply write so a stalled or half-open peer cannot pin
+// the handler goroutine forever (nc must be the underlying conn).
+func serveFrames(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, ver int, first *frame, wm *wireMetrics, ioTimeout time.Duration, dispatch func(op byte, payload []byte) (byte, []byte)) {
 	for {
 		var fr frame
 		if first != nil {
 			fr, first = *first, nil
 		} else {
+			if ioTimeout > 0 {
+				nc.SetReadDeadline(time.Now().Add(ioTimeout))
+			}
 			var err error
 			fr, err = readFrame(br, ver)
 			if err != nil {
@@ -369,6 +405,9 @@ func serveFrames(br *bufio.Reader, bw *bufio.Writer, ver int, first *frame, wm *
 		op, reply := dispatch(fr.op, fr.payload)
 		fr.release()
 		n := len(reply)
+		if ioTimeout > 0 {
+			nc.SetWriteDeadline(time.Now().Add(ioTimeout))
+		}
 		err := writeFrame(bw, ver, fr.tag, op, reply)
 		putBuf(reply)
 		if err != nil {

@@ -64,3 +64,63 @@ func (m *wireMetrics) observeQueueWait(enq time.Time) {
 	}
 	m.qwait.Observe(float64(time.Since(enq)) / float64(time.Millisecond))
 }
+
+// resilienceMetrics mirrors the client's retry/breaker activity into the
+// obs registry. Same nil-sink contract as wireMetrics: a nil receiver
+// turns every hook into a pointer test.
+type resilienceMetrics struct {
+	retries      *obs.Counter // transport-failure retries issued
+	deadlines    *obs.Counter // attempts/requests lost to a deadline
+	breakerOpens *obs.Counter // breaker open transitions
+	fastFails    *obs.Counter // requests refused while a breaker was open
+	breakersOpen *obs.Gauge   // breakers currently open
+}
+
+func newResilienceMetrics(reg *obs.Registry) *resilienceMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &resilienceMetrics{
+		retries:      reg.Counter("pfsnet.client.retries"),
+		deadlines:    reg.Counter("pfsnet.client.deadline_exceeded"),
+		breakerOpens: reg.Counter("pfsnet.client.breaker_opens"),
+		fastFails:    reg.Counter("pfsnet.client.breaker_fastfails"),
+		breakersOpen: reg.Gauge("pfsnet.client.breakers_open"),
+	}
+}
+
+func (m *resilienceMetrics) onRetry() {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+}
+
+func (m *resilienceMetrics) onDeadline() {
+	if m == nil {
+		return
+	}
+	m.deadlines.Inc()
+}
+
+func (m *resilienceMetrics) onFastFail() {
+	if m == nil {
+		return
+	}
+	m.fastFails.Inc()
+}
+
+func (m *resilienceMetrics) onOpen(nowOpen int64) {
+	if m == nil {
+		return
+	}
+	m.breakerOpens.Inc()
+	m.breakersOpen.Set(nowOpen)
+}
+
+func (m *resilienceMetrics) onClose(nowOpen int64) {
+	if m == nil {
+		return
+	}
+	m.breakersOpen.Set(nowOpen)
+}
