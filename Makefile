@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke chaos-smoke cover ci
+.PHONY: all build test race vet lint bench-smoke bench-json bench-check chaos-smoke cover ci
 
 all: build test vet lint
 
@@ -41,6 +41,26 @@ lint:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 
+# Benchmark trajectory artifact: run the loopback wire benchmarks, time
+# a full (smoke-scale) paper evaluation, and snapshot both into
+# BENCH_$(PR).json for committing. Each perf-focused PR bumps PR= and
+# commits its own snapshot; bench-check then gates the trajectory.
+PR ?= 6
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkPfsnet' -benchmem -benchtime 2s ./internal/pfsnet/ | tee bench-raw.txt
+	$(GO) run ./cmd/ibridge-benchdiff -emit -pr $(PR) \
+		-wallcmd '$(GO) run ./cmd/ibridge-bench -exp all -scale smoke' \
+		< bench-raw.txt > BENCH_$(PR).json
+	@rm -f bench-raw.txt
+	@echo "wrote BENCH_$(PR).json"
+
+# Regression gate over the committed snapshots: the newest BENCH_*.json
+# must stay within 5% of its predecessor on every shared metric (MB/s
+# higher-is-better; ns/op, B/op, allocs/op, wall clock lower). A no-op
+# until two snapshots are committed.
+bench-check:
+	$(GO) run ./cmd/ibridge-benchdiff -compare $(wildcard BENCH_*.json)
+
 # Chaos gate: the live TCP cluster under a canned fault plan (one server
 # crash+restart plus 1% connection resets) must complete with every byte
 # verified, and two runs of the same plan must print an identical chaos
@@ -63,6 +83,7 @@ cover:
 
 # The full gate: vet, the invariant lint suite, race on the
 # concurrency-bearing packages, the regular test suite (which includes
-# the engine alloc-regression guard), the hot-path bench smoke, and the
-# chaos smoke (fault-injected live cluster, reproducible summary).
-ci: vet lint race test bench-smoke chaos-smoke
+# the engine alloc-regression guard), the hot-path bench smoke, the
+# committed-benchmark regression gate, and the chaos smoke
+# (fault-injected live cluster, reproducible summary).
+ci: vet lint race test bench-smoke bench-check chaos-smoke

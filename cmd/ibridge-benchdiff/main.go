@@ -1,0 +1,237 @@
+// Command ibridge-benchdiff turns `go test -bench` output into a
+// committed benchmark artifact and gates regressions between artifacts.
+//
+// Emit mode parses benchmark text from stdin, optionally times a
+// full-evaluation command, and writes a BENCH_<pr>.json snapshot:
+//
+//	go test -run '^$' -bench BenchmarkPfsnet -benchmem ./internal/pfsnet/ |
+//	    ibridge-benchdiff -emit -pr 6 -wallcmd 'go run ./cmd/ibridge-bench -exp all -scale smoke' > BENCH_6.json
+//
+// Compare mode loads two or more committed snapshots, orders them by PR
+// number, and fails (exit 1) when the newest regresses more than the
+// threshold against its predecessor on any shared metric:
+//
+//	ibridge-benchdiff -compare -threshold 5 BENCH_5.json BENCH_6.json
+//
+// With fewer than two snapshots compare mode prints a notice and exits
+// 0, so the CI step is a no-op until the trajectory has two points.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// snapshot is the committed artifact schema. Benchmarks maps the
+// benchmark name (minus the "Benchmark" prefix and -cpu suffix) to its
+// parsed metrics keyed by unit (ns/op, MB/s, B/op, allocs/op).
+type snapshot struct {
+	PR         int                           `json:"pr"`
+	GoVersion  string                        `json:"go"`
+	GOMAXPROCS int                           `json:"gomaxprocs"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	WallClockS float64                       `json:"wall_clock_s,omitempty"`
+	WallCmd    string                        `json:"wall_cmd,omitempty"`
+}
+
+// higherIsBetter classifies metric direction; everything else (ns/op,
+// B/op, allocs/op, wall_clock_s) regresses when it grows.
+func higherIsBetter(unit string) bool {
+	return unit == "MB/s"
+}
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "parse `go test -bench` output on stdin and write a JSON snapshot to stdout")
+		compare   = flag.Bool("compare", false, "compare BENCH_*.json snapshots given as arguments")
+		pr        = flag.Int("pr", 0, "PR number recorded in the emitted snapshot")
+		wallCmd   = flag.String("wallcmd", "", "emit: command to run and time as the full-eval wall clock")
+		threshold = flag.Float64("threshold", 5, "compare: allowed regression percentage per metric")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit == *compare:
+		fmt.Fprintln(os.Stderr, "ibridge-benchdiff: exactly one of -emit or -compare required")
+		os.Exit(2)
+	case *emit:
+		if err := runEmit(*pr, *wallCmd); err != nil {
+			fmt.Fprintln(os.Stderr, "ibridge-benchdiff:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := runCompare(flag.Args(), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "ibridge-benchdiff:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runEmit(pr int, wallCmd string) error {
+	if pr <= 0 {
+		return fmt.Errorf("-emit requires -pr N")
+	}
+	snap := snapshot{
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if ok {
+			snap.Benchmarks[name] = metrics
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no Benchmark lines found on stdin")
+	}
+	if wallCmd != "" {
+		cmd := exec.Command("sh", "-c", wallCmd)
+		cmd.Stdout = os.Stderr // keep stdout clean for the JSON artifact
+		cmd.Stderr = os.Stderr
+		start := time.Now()
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("wallcmd %q: %w", wallCmd, err)
+		}
+		snap.WallClockS = round2(time.Since(start).Seconds())
+		snap.WallCmd = wallCmd
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkPfsnetSmallSubreqs-4  345530  7095 ns/op  144.33 MB/s  514 B/op  11 allocs/op
+//
+// returning the trimmed name and its unit→value metrics.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// -N GOMAXPROCS suffix; absent when GOMAXPROCS=1.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil {
+		return "", nil, false // second field must be the iteration count
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[f[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+func runCompare(paths []string, threshold float64) error {
+	var snaps []snapshot
+	for _, p := range paths {
+		// An unexpanded BENCH_*.json glob means no snapshots exist yet.
+		if strings.ContainsAny(p, "*?[") {
+			continue
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var s snapshot
+		if err := json.Unmarshal(b, &s); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if s.PR <= 0 || len(s.Benchmarks) == 0 {
+			return fmt.Errorf("%s: missing pr or benchmarks", p)
+		}
+		snaps = append(snaps, s)
+	}
+	if len(snaps) < 2 {
+		fmt.Println("bench-check: fewer than two snapshots; nothing to compare")
+		return nil
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].PR < snaps[j].PR })
+	prev, cur := snaps[len(snaps)-2], snaps[len(snaps)-1]
+	fmt.Printf("bench-check: PR %d vs PR %d (threshold %.1f%%)\n", cur.PR, prev.PR, threshold)
+
+	var failed bool
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  %-28s new benchmark, no baseline\n", name)
+			continue
+		}
+		units := make([]string, 0, len(cur.Benchmarks[name]))
+		for u := range cur.Benchmarks[name] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv, ok := base[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			cv := cur.Benchmarks[name][unit]
+			delta := (cv - bv) / bv * 100
+			worse := delta
+			if higherIsBetter(unit) {
+				worse = -delta
+			}
+			status := "ok"
+			if worse > threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-28s %-9s %12.2f -> %12.2f  %+7.1f%%  %s\n",
+				name, unit, bv, cv, delta, status)
+		}
+	}
+	if prev.WallClockS > 0 && cur.WallClockS > 0 {
+		delta := (cur.WallClockS - prev.WallClockS) / prev.WallClockS * 100
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-28s %-9s %12.2f -> %12.2f  %+7.1f%%  %s\n",
+			"full-eval", "s", prev.WallClockS, cur.WallClockS, delta, status)
+	}
+	if failed {
+		return fmt.Errorf("regression beyond %.1f%% threshold (see table above)", threshold)
+	}
+	fmt.Println("bench-check: within threshold")
+	return nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

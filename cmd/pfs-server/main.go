@@ -36,11 +36,12 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
-		ibridge   = flag.Bool("ibridge", false, "enable the iBridge fragment log")
-		dir       = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
-		workers   = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
-		maxProto  = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
+		listen     = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		ibridge    = flag.Bool("ibridge", false, "enable the iBridge fragment log")
+		dir        = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
+		workers    = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
+		maxProto   = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
+		noVec      = flag.Bool("no-vectored", false, "respond through the corked bufio path instead of vectored (writev) submission")
 		stats      = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
 		ioTimeout  = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline on each connection (0 = off)")
@@ -68,14 +69,15 @@ func main() {
 	// published as functions read at scrape time.
 	reg := obs.NewRegistry()
 	ds, err := pfsnet.NewDataServerConfig(*listen, pfsnet.ServerConfig{
-		Bridge:     *ibridge,
-		Store:      store,
-		Workers:    *workers,
-		MaxProto:   *maxProto,
-		Obs:        reg,
-		IOTimeout:  *ioTimeout,
-		FaultPlan:  plan,
-		FaultScope: *faultScope,
+		Bridge:          *ibridge,
+		Store:           store,
+		Workers:         *workers,
+		MaxProto:        *maxProto,
+		DisableVectored: *noVec,
+		Obs:             reg,
+		IOTimeout:       *ioTimeout,
+		FaultPlan:       plan,
+		FaultScope:      *faultScope,
 	})
 	if err != nil {
 		log.Fatalf("pfs-server: %v", err)

@@ -67,6 +67,20 @@ func TestLockIO(t *testing.T) {
 	})
 }
 
+// TestBufOwn exercises the pooled-buffer ownership contract: uses
+// after putBuf / writeFrame / exchange / metaCall handoffs (including
+// branch joins and loop-carried uses) versus capture-before-handoff,
+// rebinding, deferred release, terminating branches, and a documented
+// waiver.
+func TestBufOwn(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.BufOwn, "testdata/src/bufown/pos", "repro/internal/fixture/bufownfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.BufOwn, "testdata/src/bufown/neg", "repro/internal/fixture/bufownfix")
+	})
+}
+
 // TestMalformedDirective: a //lint:allow with no reason is itself
 // reported and does not suppress the finding under it.
 func TestMalformedDirective(t *testing.T) {

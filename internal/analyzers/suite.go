@@ -8,7 +8,7 @@ import (
 
 // All returns the full invariant suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, DetMapRange, ObsNil, LockIO}
+	return []*Analyzer{DetClock, DetMapRange, ObsNil, LockIO, BufOwn}
 }
 
 // ByName resolves a comma-separated analyzer list ("detclock,lockio");

@@ -57,6 +57,55 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	return c.Conn.Write(b)
 }
 
+// WriteBuffers applies the write-fault schedule to a vectored batch as
+// a single unit — one writev submission counts exactly one write op,
+// the same accounting a corked bufio flush got from Write, so a fault
+// schedule stays a pure function of the protocol traffic — and forwards
+// the buffers to the wrapped conn via net.Buffers.WriteTo, so the real
+// writev still happens underneath. The partial-write fault truncates
+// the batch mid-stream (half its bytes) before killing the conn, which
+// the peer observes as a truncated frame, never a hang.
+func (c *faultConn) WriteBuffers(v *net.Buffers) (int64, error) {
+	if c.dead.Load() {
+		return 0, errReset
+	}
+	c.maybeSleep()
+	if c.plan.fire(kindReset) {
+		c.dead.Store(true)
+		c.Conn.Close()
+		return 0, errReset
+	}
+	if c.plan.fire(kindPartial) {
+		var total int64
+		for _, b := range *v {
+			total += int64(len(b))
+		}
+		if total > 1 {
+			n := c.writePrefix(v, total/2)
+			c.dead.Store(true)
+			c.Conn.Close()
+			return n, errPartial
+		}
+	}
+	return v.WriteTo(c.Conn)
+}
+
+// writePrefix writes the first limit bytes of the batch sequentially.
+func (c *faultConn) writePrefix(v *net.Buffers, limit int64) int64 {
+	var written int64
+	for _, b := range *v {
+		if remain := limit - written; int64(len(b)) > remain {
+			b = b[:remain]
+		}
+		n, err := c.Conn.Write(b)
+		written += int64(n)
+		if err != nil || written >= limit {
+			break
+		}
+	}
+	return written
+}
+
 func (c *faultConn) Read(b []byte) (int, error) {
 	if c.dead.Load() {
 		return 0, errReset

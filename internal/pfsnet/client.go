@@ -2,8 +2,10 @@ package pfsnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -22,11 +24,15 @@ import (
 // connection pool.
 //
 // Against v2 peers every pooled connection is pipelined: a single writer
-// goroutine drains a send queue through a corked bufio.Writer (many
-// frames per syscall) and a single reader goroutine demuxes tagged
-// replies to the waiting callers, so any number of sub-requests can be
-// in flight per connection at once. Against v1 peers the client falls
-// back to the legacy one-round-trip-per-connection discipline.
+// goroutine drains a send queue into a vectored writer — frame headers
+// and small payloads packed into pooled arena chunks, large payloads
+// referenced in place — and submits each burst with one writev, while a
+// single reader goroutine demuxes tagged replies to the waiting callers
+// (scattering read data straight into the caller's buffer). Payload
+// buffers follow the wire ownership contract (DESIGN §11): the caller
+// encodes into a pooled buffer and hands it to the connection, which
+// releases it exactly once. Against v1 peers the client falls back to
+// the legacy one-round-trip-per-connection discipline.
 type Client struct {
 	metaAddr string
 	// FragmentThreshold enables iBridge client-side flagging when > 0.
@@ -34,17 +40,23 @@ type Client struct {
 	// RandomThreshold flags whole small requests as regular random.
 	RandomThreshold int64
 	// PoolSize is the number of connections kept per data server
-	// (default 4). With v2 pipelining each connection multiplexes many
-	// requests; a small pool still helps spread TCP windows and reader
-	// wakeups.
+	// (default 1). With v2 pipelining one connection multiplexes many
+	// requests, and sharing it lets the corked vectored writer batch
+	// concurrent sub-requests into single writev submissions — on small
+	// requests the syscall count, not bandwidth, is the bottleneck.
+	// Raising it can help very large transfers spread TCP windows.
 	PoolSize int
 	// MaxProto caps the wire protocol this client will negotiate
 	// (0 means the latest; 1 forces the legacy protocol).
 	MaxProto int
+	// DisableVectored forces v2 connections onto the legacy corked
+	// bufio.Writer path instead of vectored (writev) submission — the
+	// interop escape hatch, and the A/B knob for the wire benchmarks.
+	DisableVectored bool
 	// Obs, when set before the first request, receives wire-level
 	// metrics under "pfsnet.client.*" (frames, bytes, in-flight depth,
-	// send-queue wait) and the resilience metrics (retries,
-	// deadline_exceeded, breaker state).
+	// send-queue wait, writev batching) and the resilience metrics
+	// (retries, deadline_exceeded, breaker state).
 	Obs *obs.Registry
 
 	// DialTimeout bounds connection establishment, including protocol
@@ -112,6 +124,7 @@ var errConnClosed = errors.New("pfsnet: connection closed")
 type conn struct {
 	nc        net.Conn
 	ver       int
+	vec       bool // v2 writer uses vectored submission
 	wm        *wireMetrics
 	br        *bufio.Reader
 	bw        *bufio.Writer
@@ -129,13 +142,25 @@ type conn struct {
 	failed  error // set once, under pendMu, when the conn dies
 }
 
-// wireCall is one in-flight tagged request.
+// wireCall is one in-flight tagged request. Batch submission links
+// calls through next: the chain is registered as a unit and the head
+// alone crosses the send queue, so a striped request costs one channel
+// operation and one flush however many sub-requests it fans into.
 type wireCall struct {
 	tag     uint64
 	op      byte
-	payload []byte // pooled copy owned by the conn's writer side
+	payload []byte    // pooled; owned by the conn once started
+	next    *wireCall // rest of a batch chain
 	enq     time.Time // for the queue-wait metric; zero when obs is off
 	done    chan struct{}
+
+	// scatter, when non-nil, asks the reader to deposit a successful
+	// read reply's data directly here instead of a pooled intermediate;
+	// scattered reports it did, scatterN how many bytes.
+	scatter   []byte
+	scattered bool
+	scatterN  int
+
 	replyOp byte
 	reply   []byte // pooled; the waiter releases it
 	err     error
@@ -146,6 +171,7 @@ const connBufSize = 64 << 10
 // dialOpts carries the per-client connection settings into dialConn.
 type dialOpts struct {
 	maxProto    int
+	noVec       bool
 	wm          *wireMetrics
 	dialTimeout time.Duration
 	ioTimeout   time.Duration
@@ -163,6 +189,7 @@ func (c *Client) dialOpts(wm *wireMetrics) dialOpts {
 	}
 	return dialOpts{
 		maxProto:    c.MaxProto,
+		noVec:       c.DisableVectored,
 		wm:          wm,
 		dialTimeout: c.DialTimeout,
 		ioTimeout:   c.IOTimeout,
@@ -183,6 +210,7 @@ func dialConn(addr string, o dialOpts) (*conn, error) {
 	c := &conn{
 		nc:        nc,
 		ver:       ProtoV1,
+		vec:       !o.noVec,
 		wm:        o.wm,
 		br:        bufio.NewReaderSize(nc, connBufSize),
 		bw:        bufio.NewWriterSize(nc, connBufSize),
@@ -254,41 +282,104 @@ func (c *conn) startPipeline() {
 	go c.readLoop()
 }
 
-// writeLoop drains the send queue through the corked bufio.Writer: it
-// keeps writing frames while more calls are queued and flushes only when
-// the queue runs dry, so bursts of sub-requests share syscalls. The loop
-// owns each queued call's payload buffer (callPipelined copied it in)
-// and returns it to the pool once written — or on exit, for calls still
-// queued when the conn dies, so a killed conn cannot race a caller that
-// has already been failed by kill and moved on.
-func (c *conn) writeLoop() {
-	defer func() {
-		for {
-			select {
-			case w := <-c.sendq:
-				putBuf(w.payload)
-			default:
-				return
-			}
+// releaseChain returns every payload of a batch chain to the pool.
+func releaseChain(w *wireCall) {
+	for ; w != nil; w = w.next {
+		putBuf(w.payload)
+		w.payload = nil
+	}
+}
+
+// drainSendq releases the payloads of calls still queued when the conn
+// dies, so a killed conn cannot race a caller that has already been
+// failed by kill and moved on.
+func drainSendq(sendq chan *wireCall) {
+	for {
+		select {
+		case w := <-sendq:
+			releaseChain(w)
+		default:
+			return
 		}
-	}()
+	}
+}
+
+// writeLoop drains the send queue onto the wire. The loop owns each
+// queued call's payload (ownership transferred at start/startBatch) and
+// releases it exactly once — after the write, or on exit for calls
+// still queued when the conn dies.
+func (c *conn) writeLoop() {
+	if c.vec {
+		c.writeLoopVec()
+	} else {
+		c.writeLoopBuffered()
+	}
+}
+
+// writeLoopVec is the vectored writer: frames accumulate in the
+// vecWriter (headers and small payloads packed into arena chunks, large
+// payloads referenced zero-copy) and each burst goes to the kernel in a
+// single writev when the queue runs dry.
+func (c *conn) writeLoopVec() {
+	vw := newVecWriter(c.nc, c.wm)
+	defer vw.abandon()
+	defer drainSendq(c.sendq)
 	for {
 		select {
 		case <-c.dead:
 			return
 		case w := <-c.sendq:
-			c.wm.observeQueueWait(w.enq)
-			if c.ioTimeout > 0 {
-				c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+			for ; w != nil; w = w.next {
+				c.wm.observeQueueWait(w.enq)
+				n := len(w.payload)
+				err := vw.writeFrame(c.ver, w.tag, w.op, w.payload)
+				w.payload = nil
+				if err != nil {
+					releaseChain(w.next)
+					c.kill(err)
+					return
+				}
+				c.wm.onTx(n)
 			}
-			err := writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
-			n := len(w.payload)
-			putBuf(w.payload)
-			if err != nil {
-				c.kill(wrapTimeout(err))
-				return
+			if len(c.sendq) == 0 {
+				if c.ioTimeout > 0 {
+					c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+				}
+				if err := vw.flush(); err != nil {
+					c.kill(wrapTimeout(err))
+					return
+				}
 			}
-			c.wm.onTx(n)
+		}
+	}
+}
+
+// writeLoopBuffered is the legacy corked bufio path (DisableVectored):
+// it keeps writing frames while more calls are queued and flushes only
+// when the queue runs dry, so bursts of sub-requests share syscalls.
+func (c *conn) writeLoopBuffered() {
+	defer drainSendq(c.sendq)
+	for {
+		select {
+		case <-c.dead:
+			return
+		case w := <-c.sendq:
+			for ; w != nil; w = w.next {
+				c.wm.observeQueueWait(w.enq)
+				if c.ioTimeout > 0 {
+					c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+				}
+				err := writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
+				n := len(w.payload)
+				putBuf(w.payload)
+				w.payload = nil
+				if err != nil {
+					releaseChain(w.next)
+					c.kill(wrapTimeout(err))
+					return
+				}
+				c.wm.onTx(n)
+			}
 			if len(c.sendq) == 0 {
 				if err := c.bw.Flush(); err != nil {
 					c.kill(wrapTimeout(err))
@@ -307,11 +398,13 @@ func (c *conn) pendingCount() int {
 	return n
 }
 
-// readLoop demuxes tagged replies to their waiting callers. With an I/O
-// timeout configured it arms a read deadline whenever replies are
-// outstanding: a deadline expiring with calls pending means the server
-// has gone quiet mid-exchange, and the conn is killed with ErrDeadline
-// so every waiter unblocks promptly instead of stalling forever.
+// readLoop demuxes tagged replies to their waiting callers, scattering
+// read data directly into caller buffers when the call asked for it.
+// With an I/O timeout configured it arms a read deadline whenever
+// replies are outstanding: a deadline expiring with calls pending means
+// the server has gone quiet mid-exchange, and the conn is killed with
+// ErrDeadline so every waiter unblocks promptly instead of stalling
+// forever.
 func (c *conn) readLoop() {
 	for {
 		if c.ioTimeout > 0 {
@@ -321,31 +414,88 @@ func (c *conn) readLoop() {
 				c.nc.SetReadDeadline(time.Time{})
 			}
 		}
-		fr, err := readFrame(c.br, c.ver)
-		if err != nil {
-			if isTimeout(err) && c.pendingCount() == 0 {
+		var hdr [13]byte
+		if nr, err := io.ReadFull(c.br, hdr[:]); err != nil {
+			if isTimeout(err) && nr == 0 && c.pendingCount() == 0 {
 				// The deadline outlived the exchange it guarded; the conn
 				// is idle and at a frame boundary, so keep serving it.
 				continue
 			}
-			c.kill(wrapTimeout(err))
+			c.kill(wrapTimeout(wrapTruncated(err)))
 			return
 		}
-		c.wm.onRx(len(fr.payload))
+		n := binary.BigEndian.Uint32(hdr[:4])
+		if n < 9 || n > MaxMessage {
+			c.kill(ErrTooLarge)
+			return
+		}
+		tag := binary.BigEndian.Uint64(hdr[4:12])
+		op := hdr[12]
+		plen := int(n) - 9
+		// Claim the waiter before touching the payload: once the tag is
+		// out of pending, kill can no longer race this goroutine for the
+		// call, so scattering into the caller's buffer is single-writer
+		// and done is closed exactly once.
 		c.pendMu.Lock()
-		w := c.pending[fr.tag]
-		delete(c.pending, fr.tag)
-		n := len(c.pending)
+		w := c.pending[tag]
+		delete(c.pending, tag)
+		np := len(c.pending)
 		c.pendMu.Unlock()
-		if w == nil {
-			fr.release() // reply for an abandoned tag
+		if w != nil && w.scatter != nil && op == opOK && plen >= 4 && plen-4 <= len(w.scatter) {
+			if err := c.scatterInto(w, plen); err != nil {
+				w.err = err
+				close(w.done)
+				c.kill(err)
+				return
+			}
+			c.wm.onRx(plen)
+			c.wm.onScatter(w.scatterN)
+			c.wm.setInflight(np)
+			close(w.done)
 			continue
 		}
-		c.wm.setInflight(n)
-		w.replyOp = fr.op
-		w.reply = fr.payload
+		payload := getBuf(plen)
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			putBuf(payload)
+			err = wrapTimeout(wrapTruncated(err))
+			if w != nil {
+				w.err = err
+				close(w.done)
+			}
+			c.kill(err)
+			return
+		}
+		c.wm.onRx(plen)
+		if w == nil {
+			putBuf(payload) // reply for an abandoned tag
+			continue
+		}
+		c.wm.setInflight(np)
+		w.replyOp = op
+		w.reply = payload
 		close(w.done)
 	}
+}
+
+// scatterInto reads a read-reply payload (u32 length + data) of plen
+// bytes directly into w.scatter, bypassing the pooled intermediate. The
+// caller guarantees plen-4 fits the scatter buffer.
+func (c *conn) scatterInto(w *wireCall, plen int) error {
+	var lp [4]byte
+	if _, err := io.ReadFull(c.br, lp[:]); err != nil {
+		return wrapTimeout(wrapTruncated(err))
+	}
+	dn := int(binary.BigEndian.Uint32(lp[:]))
+	if dn != plen-4 {
+		return fmt.Errorf("pfsnet: read reply blob of %d bytes does not fill its frame (%w)", dn, ErrCorruptFrame)
+	}
+	if _, err := io.ReadFull(c.br, w.scatter[:dn]); err != nil {
+		return wrapTimeout(wrapTruncated(err))
+	}
+	w.replyOp = opOK
+	w.scattered = true
+	w.scatterN = dn
+	return nil
 }
 
 // kill marks the conn dead, closes the socket, and fails every pending
@@ -386,18 +536,35 @@ func (c *conn) close() error {
 	return c.nc.Close()
 }
 
-// call performs one request/reply exchange and returns the pooled reply
-// payload; the caller should putBuf it once decoded.
+// call performs one request/reply exchange. Ownership of payload (a
+// pooled buffer) transfers to the conn on entry — the conn releases it
+// exactly once, on every path. The pooled reply belongs to the caller,
+// who putBufs it once decoded.
 func (c *conn) call(op byte, payload []byte) ([]byte, error) {
+	reply, _, err := c.exchange(op, payload, nil)
+	return reply, err
+}
+
+// exchange is call with an optional scatter destination: a non-nil dst
+// asks for a successful read reply's data to land directly in dst, in
+// which case the reply is nil and the int result is the byte count.
+func (c *conn) exchange(op byte, payload, dst []byte) ([]byte, int, error) {
 	if c.ver >= ProtoV2 {
-		return c.callPipelined(op, payload)
+		w := &wireCall{op: op, payload: payload, scatter: dst, done: make(chan struct{})}
+		if err := c.start(w); err != nil {
+			return nil, 0, err
+		}
+		<-w.done
+		return c.finishCall(w)
 	}
-	return c.callV1(op, payload)
+	reply, err := c.callV1(op, payload)
+	return reply, 0, err
 }
 
 func (c *conn) callV1(op byte, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer putBuf(payload) // ownership contract: the conn releases it
 	if c.ioTimeout > 0 {
 		// One deadline covers the whole round trip; cleared on success
 		// so an idle pooled conn cannot expire between calls. A timed-out
@@ -425,17 +592,18 @@ func (c *conn) callV1(op byte, payload []byte) ([]byte, error) {
 	return finishReply(fr.op, fr.payload)
 }
 
-func (c *conn) callPipelined(op byte, payload []byte) ([]byte, error) {
-	// The writer consumes the payload asynchronously, possibly after this
-	// call has already been failed by kill — so hand it a private pooled
-	// copy and keep the caller's buffer entirely on this side.
-	w := &wireCall{op: op, payload: getBuf(len(payload)), done: make(chan struct{})}
-	copy(w.payload, payload)
+// start registers w and hands it (payload ownership included) to the
+// writer. On a failed conn the payload is released and the conn's
+// terminal error returned; otherwise w.done will be closed by the
+// reader or by kill.
+func (c *conn) start(w *wireCall) error {
 	c.pendMu.Lock()
 	if c.failed != nil {
 		err := c.failed
 		c.pendMu.Unlock()
-		return nil, err
+		putBuf(w.payload)
+		w.payload = nil
+		return err
 	}
 	c.nextTag++
 	w.tag = c.nextTag
@@ -451,20 +619,73 @@ func (c *conn) callPipelined(op byte, payload []byte) ([]byte, error) {
 		// The writer (or its exit drain) now owns w.payload.
 	case <-c.dead:
 		// kill covers every registered call, including this one; the
-		// payload copy never reached the writer.
+		// payload never reached the writer.
 		putBuf(w.payload)
+		w.payload = nil
 	}
+	c.armReadDeadline()
+	return nil
+}
+
+// startBatch registers a whole batch of calls and hands the chain to
+// the writer through a single send-queue operation, so every frame of a
+// striped request lands in one corked flush. Ownership of every payload
+// transfers on entry, success or failure.
+func (c *conn) startBatch(calls []*wireCall) error {
+	c.pendMu.Lock()
+	if c.failed != nil {
+		err := c.failed
+		c.pendMu.Unlock()
+		for _, w := range calls {
+			putBuf(w.payload)
+			w.payload = nil
+		}
+		return err
+	}
+	var enq time.Time
+	if c.wm != nil {
+		enq = time.Now()
+	}
+	for i, w := range calls {
+		c.nextTag++
+		w.tag = c.nextTag
+		w.enq = enq
+		c.pending[w.tag] = w
+		if i+1 < len(calls) {
+			w.next = calls[i+1]
+		}
+	}
+	n := len(c.pending)
+	c.pendMu.Unlock()
+	c.wm.setInflight(n)
+	select {
+	case c.sendq <- calls[0]:
+	case <-c.dead:
+		releaseChain(calls[0])
+	}
+	c.armReadDeadline()
+	return nil
+}
+
+// armReadDeadline pushes the reader's deadline out to cover a freshly
+// started exchange. SetReadDeadline interrupts a Read already blocked
+// with no deadline, so this re-arms a reader idling on a quiet conn.
+func (c *conn) armReadDeadline() {
 	if c.ioTimeout > 0 {
-		// Push the reader's deadline out to cover this exchange.
-		// SetReadDeadline interrupts a Read already blocked with no
-		// deadline, so this re-arms a reader idling on a quiet conn.
 		c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
 	}
-	<-w.done
+}
+
+// finishCall maps a completed wireCall to (reply, scatteredBytes, error).
+func (c *conn) finishCall(w *wireCall) ([]byte, int, error) {
 	if w.err != nil {
-		return nil, w.err
+		return nil, 0, w.err
 	}
-	return finishReply(w.replyOp, w.reply)
+	if w.scattered {
+		return nil, w.scatterN, nil
+	}
+	reply, err := finishReply(w.replyOp, w.reply)
+	return reply, 0, err
 }
 
 // finishReply maps a reply frame to (payload, error), releasing the
@@ -501,7 +722,7 @@ func (f *File) Layout() stripe.Layout { return f.layout }
 func NewClient(metaAddr string) *Client {
 	return &Client{
 		metaAddr:         metaAddr,
-		PoolSize:         4,
+		PoolSize:         1,
 		MaxRetries:       defaultMaxRetries,
 		RetryBackoff:     defaultRetryBackoff,
 		RetryBackoffMax:  defaultRetryBackoffMax,
@@ -679,7 +900,12 @@ func (c *Client) dropDataConn(addr string, cn *conn) {
 // accumulated consecutive transport failures. Server-reported (remote)
 // errors are never retried — the request reached the server, which also
 // proves the server alive, so they count as breaker successes.
-func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) {
+//
+// encode builds the request payload; it runs once per attempt because
+// ownership of the encoded buffer transfers to the connection (DESIGN
+// §11), so a retry needs a fresh one. dst, when non-nil, enables the
+// scatter-read path of conn.exchange.
+func (c *Client) dataCall(addr string, op byte, encode func() []byte, dst []byte) ([]byte, int, error) {
 	rm := c.resMetrics()
 	b := c.breakerFor(addr)
 	retries := c.MaxRetries
@@ -695,16 +921,16 @@ func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) 
 		probe, err := b.acquire(addr)
 		if err != nil {
 			rm.onFastFail()
-			return nil, err
+			return nil, 0, err
 		}
-		reply, err := c.tryDataCall(addr, op, payload)
+		reply, n, err := c.tryDataCall(addr, op, encode, dst)
 		if err == nil {
 			c.recordOutcome(b, rm, probe, true)
-			return reply, nil
+			return reply, n, nil
 		}
 		if _, isRemote := err.(remoteError); isRemote {
 			c.recordOutcome(b, rm, probe, true)
-			return nil, err
+			return nil, 0, err
 		}
 		c.recordOutcome(b, rm, probe, false)
 		if errors.Is(err, ErrDeadline) {
@@ -712,12 +938,12 @@ func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) 
 		}
 		lastErr = err
 		if attempt >= retries {
-			return nil, lastErr
+			return nil, 0, lastErr
 		}
 		d := c.backoffDelay(attempt)
 		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
 			rm.onDeadline()
-			return nil, fmt.Errorf("pfsnet: %s: request budget exhausted after %d attempts (%w): %v",
+			return nil, 0, fmt.Errorf("pfsnet: %s: request budget exhausted after %d attempts (%w): %v",
 				addr, attempt+1, ErrDeadline, lastErr)
 		}
 		rm.onRetry()
@@ -730,19 +956,19 @@ func (c *Client) dataCall(addr string, op byte, payload []byte) ([]byte, error) 
 // tryDataCall is one attempt of a data request: take a pooled conn,
 // exchange, and drop the conn from the pool if the transport failed
 // under it so the next attempt redials.
-func (c *Client) tryDataCall(addr string, op byte, payload []byte) ([]byte, error) {
+func (c *Client) tryDataCall(addr string, op byte, encode func() []byte, dst []byte) ([]byte, int, error) {
 	cn, err := c.dataConn(addr)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	reply, err := cn.call(op, payload)
+	reply, n, err := cn.exchange(op, encode(), dst)
 	if err != nil {
 		if _, isRemote := err.(remoteError); !isRemote {
 			c.dropDataConn(addr, cn)
 		}
-		return nil, err
+		return nil, 0, err
 	}
-	return reply, nil
+	return reply, n, nil
 }
 
 // recordOutcome feeds an attempt result to the breaker and keeps the
@@ -797,12 +1023,14 @@ func (c *Client) fileFromReply(name string, payload []byte) (*File, error) {
 	return f, f.layout.Validate()
 }
 
-// metaCall performs one metadata request. On a transport failure the
-// cached metadata connection is discarded so the next call redials
-// instead of failing forever against a dead socket.
+// metaCall performs one metadata request; ownership of payload transfers
+// in (released here on the paths that never reach a connection). On a
+// transport failure the cached metadata connection is discarded so the
+// next call redials instead of failing forever against a dead socket.
 func (c *Client) metaCall(op byte, payload []byte) ([]byte, error) {
 	mc, err := c.metaConn()
 	if err != nil {
+		putBuf(payload)
 		return nil, err
 	}
 	reply, err := mc.call(op, payload)
@@ -826,7 +1054,6 @@ func (c *Client) Create(name string, size int64) (*File, error) {
 	e.str(name)
 	e.i64(size)
 	reply, err := c.metaCall(opCreate, e.b)
-	putBuf(e.b)
 	if err != nil {
 		return nil, err
 	}
@@ -840,7 +1067,6 @@ func (c *Client) Open(name string) (*File, error) {
 	e := newEnc()
 	e.str(name)
 	reply, err := c.metaCall(opOpen, e.b)
-	putBuf(e.b)
 	if err != nil {
 		return nil, err
 	}
@@ -857,9 +1083,31 @@ func (c *Client) subs(f *File, off, length int64) []stripe.Sub {
 	return f.layout.Decompose(off, length)
 }
 
-// writeSub issues one write sub-request.
-func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random bool) error {
-	e := newEnc()
+// groupByServer splits subs into per-server groups, preserving the
+// sub-request order within each group.
+func groupByServer(subs []stripe.Sub, nsrv int) [][]stripe.Sub {
+	per := make([][]stripe.Sub, nsrv)
+	for _, sub := range subs {
+		per[sub.Server] = append(per[sub.Server], sub)
+	}
+	groups := per[:0]
+	for _, g := range per {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// writeHdrSize is the encoded size of a write sub-request around its
+// data: file u64 + off i64 + flags u8 + blob length prefix u32.
+const writeHdrSize = 8 + 8 + 1 + 4
+
+// encodeWrite builds one write sub-request payload in a pooled buffer
+// sized for the whole message, so the single user-data copy lands
+// directly in the buffer the wire will own.
+func encodeWrite(f *File, off int64, p []byte, sub stripe.Sub, random bool) []byte {
+	e := newEncN(writeHdrSize + int(sub.Length))
 	e.u64(f.ID)
 	e.i64(sub.ServerOff)
 	var flags byte
@@ -868,24 +1116,30 @@ func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random b
 	}
 	e.u8(flags)
 	e.bytes(p[sub.FileOff-off : sub.FileOff-off+sub.Length])
-	reply, err := c.dataCall(f.servers[sub.Server], opWrite, e.b)
-	putBuf(e.b)
+	return e.b
+}
+
+// encodeRead builds one read sub-request payload.
+func encodeRead(f *File, sub stripe.Sub) []byte {
+	e := newEncN(24)
+	e.u64(f.ID)
+	e.i64(sub.ServerOff)
+	e.i64(sub.Length)
+	return e.b
+}
+
+// writeSub issues one write sub-request through the resilient path.
+func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random bool) error {
+	reply, _, err := c.dataCall(f.servers[sub.Server], opWrite, func() []byte {
+		return encodeWrite(f, off, p, sub, random)
+	}, nil)
 	putBuf(reply)
 	return err
 }
 
-// WriteAt writes p at offset off, striping it over the data servers. It
-// is synchronous: it returns once every data server has acknowledged its
-// sub-request.
-func (c *Client) WriteAt(f *File, off int64, p []byte) error {
-	if err := c.checkRange(f, off, int64(len(p))); err != nil {
-		return err
-	}
-	if len(p) == 0 {
-		return nil
-	}
-	random := c.RandomThreshold > 0 && int64(len(p)) < c.RandomThreshold
-	subs := c.subs(f, off, int64(len(p)))
+// writeSubs runs write sub-requests through the resilient per-sub path,
+// concurrently when there are several.
+func (c *Client) writeSubs(f *File, off int64, p []byte, subs []stripe.Sub, random bool) error {
 	if len(subs) == 1 {
 		return c.writeSub(f, off, p, subs[0], random)
 	}
@@ -905,16 +1159,122 @@ func (c *Client) WriteAt(f *File, off int64, p []byte) error {
 	return first
 }
 
-// readSub issues one read sub-request and copies the result into p.
-func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
-	e := newEnc()
-	e.u64(f.ID)
-	e.i64(sub.ServerOff)
-	e.i64(sub.Length)
-	reply, err := c.dataCall(f.servers[sub.Server], opRead, e.b)
-	putBuf(e.b)
-	if err != nil {
+// batchConn returns a pipelined conn to addr for batch submission, with
+// addr's breaker. A nil conn means batching does not apply — breaker
+// open (the per-sub path owns the probe/fail-fast semantics), dial
+// failure, or a v1 peer — and the caller falls back to per-sub calls.
+func (c *Client) batchConn(addr string) (*conn, *breaker) {
+	b := c.breakerFor(addr)
+	if b.isOpen() {
+		return nil, b
+	}
+	cn, err := c.dataConn(addr)
+	if err != nil || cn.ver < ProtoV2 {
+		return nil, b
+	}
+	return cn, b
+}
+
+// writeGroup issues one server's write sub-requests. On a pipelined
+// connection with a healthy breaker the whole group is registered as
+// one chain and flushed in a single vectored write; subs whose batched
+// attempt hit a transport failure are retried through the fully
+// resilient per-sub path.
+func (c *Client) writeGroup(f *File, off int64, p []byte, subs []stripe.Sub, random bool) error {
+	if len(subs) == 1 {
+		return c.writeSub(f, off, p, subs[0], random)
+	}
+	addr := f.servers[subs[0].Server]
+	cn, b := c.batchConn(addr)
+	if cn == nil {
+		return c.writeSubs(f, off, p, subs, random)
+	}
+	calls := make([]*wireCall, len(subs))
+	for i, sub := range subs {
+		calls[i] = &wireCall{
+			op:      opWrite,
+			payload: encodeWrite(f, off, p, sub, random),
+			done:    make(chan struct{}),
+		}
+	}
+	if err := cn.startBatch(calls); err != nil {
+		return c.writeSubs(f, off, p, subs, random)
+	}
+	rm := c.resMetrics()
+	var retry []stripe.Sub
+	var first error
+	for i, w := range calls {
+		<-w.done
+		reply, _, err := cn.finishCall(w)
+		if err == nil {
+			putBuf(reply)
+			c.recordOutcome(b, rm, false, true)
+			continue
+		}
+		if _, isRemote := err.(remoteError); isRemote {
+			c.recordOutcome(b, rm, false, true)
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		retry = append(retry, subs[i])
+	}
+	if len(retry) > 0 {
+		c.dropDataConn(addr, cn)
+		c.recordOutcome(b, rm, false, false)
+		if err := c.writeSubs(f, off, p, retry, random); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteAt writes p at offset off, striping it over the data servers. It
+// is synchronous: it returns once every data server has acknowledged its
+// sub-request. Each server's sub-requests go out as one batched flush;
+// servers proceed in parallel.
+func (c *Client) WriteAt(f *File, off int64, p []byte) error {
+	if err := c.checkRange(f, off, int64(len(p))); err != nil {
 		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	random := c.RandomThreshold > 0 && int64(len(p)) < c.RandomThreshold
+	subs := c.subs(f, off, int64(len(p)))
+	if len(subs) == 1 {
+		return c.writeSub(f, off, p, subs[0], random)
+	}
+	groups := groupByServer(subs, len(f.servers))
+	if len(groups) == 1 {
+		return c.writeGroup(f, off, p, groups[0], random)
+	}
+	errs := make(chan error, len(groups))
+	for _, g := range groups {
+		g := g
+		go func() {
+			errs <- c.writeGroup(f, off, p, g, random)
+		}()
+	}
+	var first error
+	for range groups {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// finishRead validates a read result: either n bytes were already
+// scattered into dst (reply nil), or reply is the pooled payload to
+// decode and copy out — released here on every path.
+func finishRead(reply []byte, n int, dst []byte, want int64) error {
+	if reply == nil {
+		if int64(n) != want {
+			return fmt.Errorf("pfsnet: short read: %d of %d bytes", n, want)
+		}
+		return nil
 	}
 	d := dec{b: reply}
 	data := d.bytes()
@@ -922,24 +1282,31 @@ func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
 		putBuf(reply)
 		return d.err
 	}
-	if int64(len(data)) != sub.Length {
+	if int64(len(data)) != want {
 		putBuf(reply)
-		return fmt.Errorf("pfsnet: short read: %d of %d bytes", len(data), sub.Length)
+		return fmt.Errorf("pfsnet: short read: %d of %d bytes", len(data), want)
 	}
-	copy(p[sub.FileOff-off:], data)
+	copy(dst, data)
 	putBuf(reply)
 	return nil
 }
 
-// ReadAt reads len(p) bytes at offset off into p.
-func (c *Client) ReadAt(f *File, off int64, p []byte) error {
-	if err := c.checkRange(f, off, int64(len(p))); err != nil {
+// readSub issues one read sub-request through the resilient path,
+// scattering the reply directly into p on pipelined connections.
+func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
+	dst := p[sub.FileOff-off : sub.FileOff-off+sub.Length]
+	reply, n, err := c.dataCall(f.servers[sub.Server], opRead, func() []byte {
+		return encodeRead(f, sub)
+	}, dst)
+	if err != nil {
 		return err
 	}
-	if len(p) == 0 {
-		return nil
-	}
-	subs := c.subs(f, off, int64(len(p)))
+	return finishRead(reply, n, dst, sub.Length)
+}
+
+// readSubs runs read sub-requests through the resilient per-sub path,
+// concurrently when there are several.
+func (c *Client) readSubs(f *File, off int64, p []byte, subs []stripe.Sub) error {
 	if len(subs) == 1 {
 		return c.readSub(f, off, p, subs[0])
 	}
@@ -952,6 +1319,99 @@ func (c *Client) ReadAt(f *File, off int64, p []byte) error {
 	}
 	var first error
 	for range subs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// readGroup issues one server's read sub-requests, batched over one
+// pipelined connection when possible (replies scatter straight into p);
+// subs whose batched attempt hit a transport failure are retried
+// through the fully resilient per-sub path.
+func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub) error {
+	if len(subs) == 1 {
+		return c.readSub(f, off, p, subs[0])
+	}
+	addr := f.servers[subs[0].Server]
+	cn, b := c.batchConn(addr)
+	if cn == nil {
+		return c.readSubs(f, off, p, subs)
+	}
+	calls := make([]*wireCall, len(subs))
+	for i, sub := range subs {
+		calls[i] = &wireCall{
+			op:      opRead,
+			payload: encodeRead(f, sub),
+			scatter: p[sub.FileOff-off : sub.FileOff-off+sub.Length],
+			done:    make(chan struct{}),
+		}
+	}
+	if err := cn.startBatch(calls); err != nil {
+		return c.readSubs(f, off, p, subs)
+	}
+	rm := c.resMetrics()
+	var retry []stripe.Sub
+	var first error
+	for i, w := range calls {
+		<-w.done
+		sub := subs[i]
+		reply, n, err := cn.finishCall(w)
+		if err != nil {
+			if _, isRemote := err.(remoteError); isRemote {
+				c.recordOutcome(b, rm, false, true)
+				if first == nil {
+					first = err
+				}
+			} else {
+				retry = append(retry, sub)
+			}
+			continue
+		}
+		c.recordOutcome(b, rm, false, true)
+		dst := p[sub.FileOff-off : sub.FileOff-off+sub.Length]
+		if err := finishRead(reply, n, dst, sub.Length); err != nil && first == nil {
+			first = err
+		}
+	}
+	if len(retry) > 0 {
+		c.dropDataConn(addr, cn)
+		c.recordOutcome(b, rm, false, false)
+		if err := c.readSubs(f, off, p, retry); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadAt reads len(p) bytes at offset off into p. Each server's
+// sub-requests go out as one batched flush and their replies scatter
+// directly into p; servers proceed in parallel.
+func (c *Client) ReadAt(f *File, off int64, p []byte) error {
+	if err := c.checkRange(f, off, int64(len(p))); err != nil {
+		return err
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	subs := c.subs(f, off, int64(len(p)))
+	if len(subs) == 1 {
+		return c.readSub(f, off, p, subs[0])
+	}
+	groups := groupByServer(subs, len(f.servers))
+	if len(groups) == 1 {
+		return c.readGroup(f, off, p, groups[0])
+	}
+	errs := make(chan error, len(groups))
+	for _, g := range groups {
+		g := g
+		go func() {
+			errs <- c.readGroup(f, off, p, g)
+		}()
+	}
+	var first error
+	for range groups {
 		if err := <-errs; err != nil && first == nil {
 			first = err
 		}
@@ -982,10 +1442,11 @@ func (c *Client) Flush(f *File) (int64, error) {
 	}
 	var total int64
 	for _, addr := range servers {
-		e := newEnc()
-		e.u64(id)
-		reply, err := c.dataCall(addr, opFlush, e.b)
-		putBuf(e.b)
+		reply, _, err := c.dataCall(addr, opFlush, func() []byte {
+			e := newEnc()
+			e.u64(id)
+			return e.b
+		}, nil)
 		if err != nil {
 			return total, err
 		}

@@ -35,6 +35,7 @@ type DataServer struct {
 	store     ObjectStore
 	workers   int
 	maxProto  int
+	noVec     bool
 	ioTimeout time.Duration
 	wm        *wireMetrics
 
@@ -75,6 +76,11 @@ type ServerConfig struct {
 	// (0 means the latest; 1 makes the server behave like a legacy v1
 	// peer, rejecting the hello opcode).
 	MaxProto int
+	// DisableVectored forces the pipelined response writer onto the
+	// legacy corked bufio path instead of vectored (writev) submission —
+	// the interop escape hatch, and the A/B knob for the wire
+	// benchmarks.
+	DisableVectored bool
 	// Obs, when set, receives wire-level metrics under
 	// "pfsnet.server.*".
 	Obs *obs.Registry
@@ -159,6 +165,7 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 		store:     store,
 		workers:   workers,
 		maxProto:  maxProto,
+		noVec:     cfg.DisableVectored,
 		ioTimeout: cfg.IOTimeout,
 		wm:        newWireMetrics(cfg.Obs, "pfsnet.server."),
 		plan:      cfg.FaultPlan,
@@ -316,7 +323,9 @@ func (s *DataServer) serveConn(conn net.Conn) {
 // servePipelined runs the v2 per-connection pipeline: this goroutine
 // demuxes frames into the bounded worker pool, the workers execute
 // handlers concurrently, and one response-writer goroutine streams the
-// tagged replies back, flushing only when its queue runs dry.
+// tagged replies back, flushing only when its queue runs dry — through
+// the vectored writer by default, so a burst of small acks and read
+// replies coalesces into one writev submission.
 func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
 	jobs := make(chan frame, s.workers*2)
 	resp := make(chan frame, s.workers*2)
@@ -325,26 +334,10 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		broken := false
-		for fr := range resp {
-			if !broken {
-				if s.ioTimeout > 0 {
-					conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
-				}
-				if writeFrame(bw, ProtoV2, fr.tag, fr.op, fr.payload) != nil {
-					broken = true
-					conn.Close() // unblock the demux reader promptly
-				} else {
-					s.wm.onTx(len(fr.payload))
-				}
-			}
-			putBuf(fr.payload)
-			if !broken && len(resp) == 0 {
-				if bw.Flush() != nil {
-					broken = true
-					conn.Close()
-				}
-			}
+		if s.noVec {
+			s.respondBuffered(conn, bw, resp)
+		} else {
+			s.respondVectored(conn, resp)
 		}
 	}()
 
@@ -380,6 +373,65 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	workerWG.Wait()
 	close(resp)
 	writerWG.Wait()
+}
+
+// respondVectored streams tagged replies back through the vectored
+// writer: ownership of each reply payload transfers to the writer
+// (DESIGN §11), small acks pack into arena chunks, large read replies
+// ride as their own iovec, and the accumulated batch reaches the kernel
+// in one writev when the queue runs dry.
+func (s *DataServer) respondVectored(conn net.Conn, resp chan frame) {
+	vw := newVecWriter(conn, s.wm)
+	defer vw.abandon()
+	broken := false
+	for fr := range resp {
+		if broken {
+			putBuf(fr.payload)
+			continue
+		}
+		n := len(fr.payload)
+		if vw.writeFrame(ProtoV2, fr.tag, fr.op, fr.payload) != nil {
+			broken = true
+			conn.Close() // unblock the demux reader promptly
+			continue
+		}
+		s.wm.onTx(n)
+		if len(resp) == 0 {
+			if s.ioTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+			}
+			if vw.flush() != nil {
+				broken = true
+				conn.Close()
+			}
+		}
+	}
+}
+
+// respondBuffered is the legacy corked bufio response path
+// (DisableVectored).
+func (s *DataServer) respondBuffered(conn net.Conn, bw *bufio.Writer, resp chan frame) {
+	broken := false
+	for fr := range resp {
+		if !broken {
+			if s.ioTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+			}
+			if writeFrame(bw, ProtoV2, fr.tag, fr.op, fr.payload) != nil {
+				broken = true
+				conn.Close() // unblock the demux reader promptly
+			} else {
+				s.wm.onTx(len(fr.payload))
+			}
+		}
+		putBuf(fr.payload)
+		if !broken && len(resp) == 0 {
+			if bw.Flush() != nil {
+				broken = true
+				conn.Close()
+			}
+		}
+	}
 }
 
 // dispatch executes one request and returns the reply opcode and pooled

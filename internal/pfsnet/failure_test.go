@@ -335,13 +335,13 @@ func TestRemoteErrorNotRetried(t *testing.T) {
 	}
 	readsBefore := ds.Stats().Reads
 	// A negative-length read triggers a server-side error exactly once.
-	_, err = c.dataCall(ds.Addr(), opRead, func() []byte {
+	_, _, err = c.dataCall(ds.Addr(), opRead, func() []byte {
 		var e enc
 		e.u64(1)
 		e.i64(0)
 		e.i64(-5)
 		return e.b
-	}())
+	}, nil)
 	if err == nil {
 		t.Fatal("bad read accepted")
 	}

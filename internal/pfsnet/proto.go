@@ -193,9 +193,20 @@ func readFrame(r io.Reader, ver int) (frame, error) {
 	fr.payload = getBuf(int(n - overhead))
 	if _, err := io.ReadFull(r, fr.payload); err != nil {
 		fr.release()
-		return frame{}, err
+		return frame{}, wrapTruncated(err)
 	}
 	return fr, nil
+}
+
+// wrapTruncated maps a mid-frame EOF onto ErrCorruptFrame: the stream
+// ended inside a frame the header promised, which is a truncated (and
+// therefore corrupt) frame, not a clean close. Clean EOF at a frame
+// boundary passes through untouched.
+func wrapTruncated(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("truncated frame: %v (%w)", err, ErrCorruptFrame)
+	}
+	return err
 }
 
 // Payload buffer pools, in power-of-two size classes from 1 KB to 64 MB
@@ -223,20 +234,39 @@ func getBuf(n int) []byte {
 	return make([]byte, n, 1<<c)
 }
 
-// putBuf returns a buffer obtained from getBuf (or grown from one) to
-// its size-class pool. nil and undersized buffers are dropped.
+// putBuf returns a buffer obtained from getBuf to its size-class pool.
+// nil, undersized, and oversized buffers are dropped silently (they are
+// the legitimate non-pooled paths: empty frames, tiny test encoders,
+// >64 MB one-offs). A buffer whose capacity falls in the pool's range
+// but is not an exact power-of-two size class is *foreign*: it was not
+// shaped by getBuf — typically an encoder that outgrew its class, or an
+// ownership-transfer bug handing the pool somebody else's memory.
+// Foreign buffers are rejected, not re-classed, and counted in
+// pfsnet.pool.foreign_put so the churn shows up in metrics instead of
+// as quiet heap garbage.
 func putBuf(b []byte) {
-	if cap(b) < 1<<minBufClass || cap(b) > 1<<maxBufClass {
+	c := cap(b)
+	if c < 1<<minBufClass || c > 1<<maxBufClass {
 		return
 	}
-	c := bits.Len(uint(cap(b))) - 1 // floor: the largest class the cap satisfies
+	if c&(c-1) != 0 {
+		notePoolForeignPut()
+		return
+	}
 	b = b[:0]
-	bufPools[c-minBufClass].Put(&b)
+	bufPools[bits.Len(uint(c))-1-minBufClass].Put(&b)
 }
 
-// newEnc returns an encoder writing into a pooled buffer; pass the
-// finished enc.b to putBuf once it has been sent.
+// newEnc returns an encoder writing into a pooled buffer; ownership of
+// the finished enc.b follows the wire ownership contract (DESIGN §11):
+// hand it to an owning sink exactly once, or putBuf it yourself.
 func newEnc() enc { return enc{b: getBuf(0)} }
+
+// newEncN is newEnc with a capacity hint: the encoder starts in the
+// size class that fits n bytes, so encoding n bytes never outgrows the
+// class (outgrowing reallocates to a foreign capacity the pool must
+// reject — see putBuf).
+func newEncN(n int) enc { return enc{b: getBuf(n)[:0]} }
 
 // enc is a tiny append-style encoder.
 type enc struct{ b []byte }

@@ -1,6 +1,7 @@
 package pfsnet
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -17,6 +18,16 @@ type wireMetrics struct {
 	bytesRx  *obs.Counter // payload bytes read
 	inflight *obs.Gauge   // requests issued and not yet completed
 	qwait    *obs.Hist    // ms from enqueue to wire write / worker start
+
+	// Vectored-path metrics: how well the writev batching amortizes
+	// syscalls, and how many payload bytes crossed the wire without an
+	// intermediate stream-buffer copy (large iovec payloads on the send
+	// side, scatter reads on the receive side).
+	writevCalls    *obs.Counter // vectored flushes submitted
+	writevFrames   *obs.Counter // frames carried by those flushes
+	writevBatch    *obs.Hist    // frames per vectored flush
+	copyAvoided    *obs.Counter // payload bytes moved with no intermediate copy
+	scatterReads   *obs.Counter // replies scattered straight into caller buffers
 }
 
 // newWireMetrics resolves the endpoint's metrics in reg under prefix
@@ -25,15 +36,73 @@ func newWireMetrics(reg *obs.Registry, prefix string) *wireMetrics {
 	if reg == nil {
 		return nil
 	}
+	armPoolMetrics(reg)
 	return &wireMetrics{
-		framesTx: reg.Counter(prefix + "frames_tx"),
-		framesRx: reg.Counter(prefix + "frames_rx"),
-		bytesTx:  reg.Counter(prefix + "bytes_tx"),
-		bytesRx:  reg.Counter(prefix + "bytes_rx"),
-		inflight: reg.Gauge(prefix + "inflight"),
-		qwait:    reg.Hist(prefix + "queue_wait_ms"),
+		framesTx:     reg.Counter(prefix + "frames_tx"),
+		framesRx:     reg.Counter(prefix + "frames_rx"),
+		bytesTx:      reg.Counter(prefix + "bytes_tx"),
+		bytesRx:      reg.Counter(prefix + "bytes_rx"),
+		inflight:     reg.Gauge(prefix + "inflight"),
+		qwait:        reg.Hist(prefix + "queue_wait_ms"),
+		writevCalls:  reg.Counter(prefix + "writev_calls"),
+		writevFrames: reg.Counter(prefix + "writev_frames"),
+		writevBatch:  reg.Hist(prefix + "writev_frames_per_call"),
+		copyAvoided:  reg.Counter(prefix + "copy_avoided_bytes"),
+		scatterReads: reg.Counter(prefix + "scatter_reads"),
 	}
 }
+
+func (m *wireMetrics) onWritev(frames int) {
+	if m == nil || frames == 0 {
+		return
+	}
+	m.writevCalls.Inc()
+	m.writevFrames.Add(int64(frames))
+	m.writevBatch.Observe(float64(frames))
+}
+
+func (m *wireMetrics) onCopyAvoided(n int) {
+	if m == nil {
+		return
+	}
+	m.copyAvoided.Add(int64(n))
+}
+
+func (m *wireMetrics) onScatter(n int) {
+	if m == nil {
+		return
+	}
+	m.scatterReads.Inc()
+	m.copyAvoided.Add(int64(n))
+}
+
+// Pool ownership metrics. The buffer pool is package-global, so its
+// foreign-put count lives in a global atomic; armPoolMetrics mirrors it
+// into whichever registries are in play (idempotent per registry — the
+// counter is shared monotonic state, and every registry sees the same
+// process-wide total via the atomic).
+var (
+	poolForeignPuts atomic.Int64
+	poolObs         atomic.Pointer[obs.Counter]
+)
+
+// notePoolForeignPut records a rejected foreign-capacity putBuf.
+func notePoolForeignPut() {
+	poolForeignPuts.Add(1)
+	if c := poolObs.Load(); c != nil {
+		c.Inc()
+	}
+}
+
+// armPoolMetrics points the pool's foreign-put counter at reg.
+func armPoolMetrics(reg *obs.Registry) {
+	poolObs.Store(reg.Counter("pfsnet.pool.foreign_put"))
+}
+
+// PoolForeignPuts returns the process-wide count of foreign-capacity
+// buffers rejected by the wire pool — nonzero in steady state means an
+// ownership-transfer bug is churning heap somewhere.
+func PoolForeignPuts() int64 { return poolForeignPuts.Load() }
 
 func (m *wireMetrics) onTx(payloadBytes int) {
 	if m == nil {
