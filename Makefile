@@ -45,7 +45,7 @@ bench-smoke:
 # a full (smoke-scale) paper evaluation, and snapshot both into
 # BENCH_$(PR).json for committing. Each perf-focused PR bumps PR= and
 # commits its own snapshot; bench-check then gates the trajectory.
-PR ?= 6
+PR ?= 7
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPfsnet' -benchmem -benchtime 2s ./internal/pfsnet/ | tee bench-raw.txt
 	$(GO) run ./cmd/ibridge-benchdiff -emit -pr $(PR) \
@@ -65,15 +65,20 @@ bench-check:
 # crash+restart plus 1% connection resets) must complete with every byte
 # verified, and two runs of the same plan must print an identical chaos
 # summary — injected-fault and retry/breaker counts reproducible from
-# the seed.
+# the seed. The first run also records per-process trace spans (span
+# counts are timing-dependent, so they print before the summary and stay
+# out of the reproducibility diff); the merged Chrome trace lands in
+# chaos-trace.json for chrome://tracing and is uploaded as a CI artifact.
 CHAOS_PLAN = seed=42; reset=1%; crash=srv1@60+60
 chaos-smoke:
-	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' | sed -n '/CHAOS SUMMARY/,$$p' > chaos-run1.txt
+	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' -spans-dir chaos-spans | sed -n '/CHAOS SUMMARY/,$$p' > chaos-run1.txt
 	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' | sed -n '/CHAOS SUMMARY/,$$p' > chaos-run2.txt
 	@grep -q 'chaos: completed, data verified' chaos-run1.txt || { echo "chaos-smoke: run did not complete"; exit 1; }
 	@diff chaos-run1.txt chaos-run2.txt || { echo "chaos-smoke: summaries differ across identical runs"; exit 1; }
+	$(GO) run ./cmd/ibridge-trace -merge -o chaos-trace.json chaos-spans/*.spans
 	@echo "chaos-smoke: completed, byte-verified, reproducible:"; cat chaos-run1.txt
-	@rm -f chaos-run1.txt chaos-run2.txt
+	@echo "chaos-smoke: merged trace in chaos-trace.json (load in chrome://tracing)"
+	@rm -rf chaos-spans chaos-run1.txt chaos-run2.txt
 
 # Coverage across all packages, with an HTML report in cover.html.
 cover:

@@ -17,13 +17,17 @@
 // RNGs are seed-derived, so a -jobs 8 run renders byte-identical tables
 // to a -jobs 1 run. Diagnostics (timings, -metrics report) go to stderr
 // and -trace to its own file, so the rendered results stay deterministic
-// whether or not observability is enabled.
+// whether or not observability is enabled. -debug-addr serves the live
+// metrics registry over expvar (/debug/vars) for scraping mid-run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -37,16 +41,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
-		scale   = flag.String("scale", "medium", "scale: smoke, small, medium, full")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		out     = flag.String("out", "", "also append rendered results to this file")
-		jobs    = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
-		metrics = flag.Bool("metrics", false, "print the metrics registry and T_i telemetry to stderr")
-		traceTo = flag.String("trace", "", "write a Chrome trace_event JSON request-flow trace to this file")
-		obsMS    = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
-		faultArg = flag.String("faults", "", "fault plan applied to every experiment cluster (see internal/faults; only ssdfail=srvN@DUR clauses act in simulation)")
-		verbose  = flag.Bool("v", false, "verbose: per-experiment host timings on stderr")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids (see -list), or 'all'")
+		scale     = flag.String("scale", "medium", "scale: smoke, small, medium, full")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		out       = flag.String("out", "", "also append rendered results to this file")
+		jobs      = flag.Int("jobs", 0, "concurrent simulations (<=0: GOMAXPROCS)")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry and T_i telemetry to stderr")
+		traceTo   = flag.String("trace", "", "write a Chrome trace_event JSON request-flow trace to this file")
+		obsMS     = flag.Int("obs-sample-ms", 0, "minimum virtual ms between T_i samples (0: every broadcast tick)")
+		debugAddr = flag.String("debug-addr", "", "serve the live metrics registry over HTTP at this address (/debug/vars); implies -metrics")
+		faultArg  = flag.String("faults", "", "fault plan applied to every experiment cluster (see internal/faults; only ssdfail=srvN@DUR clauses act in simulation)")
+		verbose   = flag.Bool("v", false, "verbose: per-experiment host timings on stderr")
 	)
 	flag.Parse()
 
@@ -62,11 +67,25 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, logLevel)
 	set := obs.New(obs.Config{
-		Metrics:     *metrics,
+		Metrics:     *metrics || *debugAddr != "",
 		Trace:       *traceTo != "",
 		SampleEvery: sim.Duration(*obsMS) * sim.Millisecond,
 	})
 	experiments.SetObs(set)
+	if *debugAddr != "" {
+		// Scraping mid-run reads the live registry: simulation counters
+		// and any registered gauges (e.g. pfsnet client latency-sketch
+		// quantiles when a cluster experiment wires a registry through).
+		set.Registry().PublishExpvar("bench")
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			log.Printf("ibridge-bench: expvar metrics on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("ibridge-bench: debug server: %v", err)
+			}
+		}()
+	}
 	var plan *faults.Plan
 	if *faultArg != "" {
 		var err error

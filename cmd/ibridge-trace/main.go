@@ -1,11 +1,21 @@
 // Command ibridge-trace analyzes and generates I/O traces in the format
-// of internal/trace.
+// of internal/trace, and merges cross-process span files into one
+// Chrome trace.
 //
 // Usage:
 //
 //	ibridge-trace -analyze trace.txt            # Table I classification
 //	ibridge-trace -gen S3D -records 10000 -o s3d.txt
 //	ibridge-trace -gen all -records 10000       # Table I over all four
+//	ibridge-trace -merge -o merged.json client.spans srv0.spans srv1.spans
+//
+// -merge reads the JSON-lines span files written by obs.XTracer
+// (pfs-server -span-file, livecluster -spans-dir), aligns their
+// wall-clock timestamps to a common origin, and writes one Chrome
+// trace_event document (load in chrome://tracing or ui.perfetto.dev):
+// each process becomes a pid, each scope within it a lane, and the
+// client's per-request span lines up over the server-side
+// queue-wait/store/respond child spans it caused.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -21,6 +32,7 @@ func main() {
 	var (
 		analyze = flag.String("analyze", "", "trace file to classify (Table I rules)")
 		gen     = flag.String("gen", "", "generate a synthetic trace: ALEGRA-2744, ALEGRA-5832, CTH, S3D, or 'all'")
+		merge   = flag.Bool("merge", false, "merge span files (args) into one Chrome trace at -o")
 		records = flag.Int("records", 10000, "records to generate")
 		size    = flag.Int64("size", 10<<30, "file size bound for generated offsets")
 		seed    = flag.Uint64("seed", 42, "generation seed")
@@ -32,6 +44,10 @@ func main() {
 
 	cls := trace.Classifier{Unit: *unit, RandomThreshold: *random}
 	switch {
+	case *merge:
+		if err := mergeSpans(flag.Args(), *out); err != nil {
+			log.Fatal(err)
+		}
 	case *analyze != "":
 		f, err := os.Open(*analyze)
 		if err != nil {
@@ -79,4 +95,41 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// mergeSpans concatenates per-process span files and renders them as a
+// single Chrome trace. Events keep their wall-clock order; WriteChromeX
+// normalizes all timestamps to the earliest event, so processes started
+// at different times still line up on one timeline.
+func mergeSpans(files []string, out string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("ibridge-trace: -merge needs at least one span file argument")
+	}
+	var evs []obs.XEvent
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		got, err := obs.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		evs = append(evs, got...)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteChromeX(w, evs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ibridge-trace: merged %d events from %d span files\n", len(evs), len(files))
+	return nil
 }

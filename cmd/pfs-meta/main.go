@@ -9,17 +9,25 @@
 // clients automatically and keeps speaking v1 with legacy clients; no
 // flag is needed — metadata traffic is a handful of round trips per
 // file, so both versions are served by the same sequential loop.
+//
+// With -debug-addr the server exposes its metrics registry over expvar:
+// GET http://<debug-addr>/debug/vars returns a JSON map holding the
+// standard expvar keys plus "pfs" (the "pfsnet.meta.*" wire metrics:
+// frames, bytes, in-flight depth, queue wait).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
 
@@ -29,6 +37,7 @@ func main() {
 		unit       = flag.Int64("unit", 64*1024, "striping unit in bytes")
 		servers    = flag.String("servers", "", "comma-separated data server addresses, in stripe order")
 		ioTimeout  = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline on each connection (0 = off)")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
 		faultSpec  = flag.String("faults", "", "deterministic fault-injection plan (see internal/faults)")
 		faultScope = flag.String("fault-scope", "meta", "this server's scope label in the fault plan")
 	)
@@ -44,8 +53,10 @@ func main() {
 			log.Fatalf("pfs-meta: %v", err)
 		}
 	}
+	reg := obs.NewRegistry()
 	ms, err := pfsnet.NewMetaServerConfig(*listen, *unit, addrs, pfsnet.MetaConfig{
 		IOTimeout:  *ioTimeout,
+		Obs:        reg,
 		FaultPlan:  plan,
 		FaultScope: *faultScope,
 	})
@@ -53,6 +64,17 @@ func main() {
 		log.Fatalf("pfs-meta: %v", err)
 	}
 	log.Printf("pfs-meta: serving on %s (unit %d, %d data servers)", ms.Addr(), *unit, len(addrs))
+	if *debugAddr != "" {
+		reg.PublishExpvar("pfs")
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/debug/vars", expvar.Handler())
+			log.Printf("pfs-meta: expvar metrics on http://%s/debug/vars", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("pfs-meta: debug server: %v", err)
+			}
+		}()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig

@@ -5,6 +5,7 @@
 //	pfs-server -listen 127.0.0.1:7001 -ibridge
 //	pfs-server -listen 127.0.0.1:7001 -workers 16
 //	pfs-server -listen 127.0.0.1:7001 -debug-addr 127.0.0.1:7071
+//	pfs-server -listen 127.0.0.1:7001 -span-file srv0.spans
 //	pfs-server -listen 127.0.0.1:7001 -io-timeout 10s \
 //	    -faults 'seed=1; reset=1%; ssdfail=srv0@100' -fault-scope srv0
 //
@@ -18,6 +19,12 @@
 // standard expvar keys plus "pfs" (the live server counters and the
 // "pfsnet.server.*" wire metrics: frames, bytes, in-flight depth,
 // queue wait).
+//
+// With -span-file the server arms an obs.XTracer named after its fault
+// scope: traced v2 clients propagate {traceID, parentSpanID} on the
+// wire, and the per-request queue-wait/store/respond spans land in the
+// span file at shutdown. Merge the per-process files with
+// `ibridge-trace -merge`.
 package main
 
 import (
@@ -44,6 +51,7 @@ func main() {
 		noVec      = flag.Bool("no-vectored", false, "respond through the corked bufio path instead of vectored (writev) submission")
 		stats      = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
+		spanFile   = flag.String("span-file", "", "write this server's trace spans (JSON lines) to this file at shutdown; merge with 'ibridge-trace -merge'")
 		ioTimeout  = flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline on each connection (0 = off)")
 		faultSpec  = flag.String("faults", "", "deterministic fault-injection plan, e.g. 'seed=1; reset=1%; ssdfail=srv0@100' (see internal/faults)")
 		faultScope = flag.String("fault-scope", "srv0", "this server's scope label in the fault plan")
@@ -68,6 +76,14 @@ func main() {
 	// "pfsnet.server.*" metrics inline, and the Stats counters are
 	// published as functions read at scrape time.
 	reg := obs.NewRegistry()
+	// The tracer names this process by its fault scope ("srv0", ...),
+	// which is what groups its spans into one pid lane after a merge.
+	var tracer *obs.XTracer
+	if *spanFile != "" {
+		tracer = obs.NewXTracer(*faultScope, 0)
+		tracer.SetDropCounter(reg.Counter("obs.trace.dropped_events"))
+		plan.SetTracer(tracer)
+	}
 	ds, err := pfsnet.NewDataServerConfig(*listen, pfsnet.ServerConfig{
 		Bridge:          *ibridge,
 		Store:           store,
@@ -75,6 +91,7 @@ func main() {
 		MaxProto:        *maxProto,
 		DisableVectored: *noVec,
 		Obs:             reg,
+		Tracer:          tracer,
 		IOTimeout:       *ioTimeout,
 		FaultPlan:       plan,
 		FaultScope:      *faultScope,
@@ -115,5 +132,18 @@ func main() {
 	ds.Close()
 	if plan != nil {
 		log.Printf("pfs-server: faults injected: %s", plan.CountsString())
+	}
+	if tracer != nil {
+		f, err := os.Create(*spanFile)
+		if err != nil {
+			log.Fatalf("pfs-server: %v", err)
+		}
+		if err := tracer.WriteSpans(f); err != nil {
+			log.Fatalf("pfs-server: span file %s: %v", *spanFile, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("pfs-server: span file %s: %v", *spanFile, err)
+		}
+		log.Printf("pfs-server: %d spans written to %s (dropped %d)", tracer.Len(), *spanFile, tracer.Dropped())
 	}
 }

@@ -15,6 +15,14 @@
 // reproducible from the plan seed:
 //
 //	go run ./examples/livecluster -faults 'seed=42; reset=1%; crash=srv1@60+60'
+//
+// With -spans-dir the chaos run also records cross-process trace spans:
+// the client and every data server get their own obs.XTracer (the same
+// wiring a real deployment gets from pfs-server -span-file), trace
+// contexts propagate over the negotiated v2 wire extension, and one
+// span file per logical process lands in the directory. Merge them with
+//
+//	ibridge-trace -merge -o chaos-trace.json dir/client.spans dir/srv*.spans
 package main
 
 import (
@@ -44,6 +52,7 @@ const (
 func main() {
 	faultSpec := flag.String("faults", "", "deterministic fault plan (see internal/faults); enables the chaos walkthrough")
 	ops := flag.Int("ops", 200, "chaos mode: number of sequential block writes")
+	spansDir := flag.String("spans-dir", "", "chaos mode: write per-process span files (client.spans, srvN.spans) here; merge with 'ibridge-trace -merge'")
 	flag.Parse()
 	if *faultSpec == "" {
 		demo()
@@ -53,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	chaos(plan, *ops)
+	chaos(plan, *ops, *spansDir)
 }
 
 // demo is the original fault-free walkthrough.
@@ -131,7 +140,10 @@ type chaosServer struct {
 	scope string
 	addr  string
 	dir   string
-	ds    *pfsnet.DataServer // nil while crashed
+	// tracer outlives crashes: a restarted server keeps appending spans
+	// to its slot's buffer, so the span file covers the whole run.
+	tracer *obs.XTracer
+	ds     *pfsnet.DataServer // nil while crashed
 }
 
 func (s *chaosServer) start(plan *faults.Plan) error {
@@ -142,6 +154,7 @@ func (s *chaosServer) start(plan *faults.Plan) error {
 	ds, err := pfsnet.NewDataServerConfig(s.addr, pfsnet.ServerConfig{
 		Bridge:     true,
 		Store:      store,
+		Tracer:     s.tracer,
 		FaultPlan:  plan,
 		FaultScope: s.scope,
 	})
@@ -156,7 +169,7 @@ func (s *chaosServer) start(plan *faults.Plan) error {
 // chaos runs the deterministic fault walkthrough: ops sequential
 // unaligned block writes while the plan injects faults, then full byte
 // verification and a reproducible summary.
-func chaos(plan *faults.Plan, ops int) {
+func chaos(plan *faults.Plan, ops int, spansDir string) {
 	fmt.Printf("chaos plan: %s (seed %d)\n", plan.String(), plan.Seed())
 	root, err := os.MkdirTemp("", "livecluster-chaos-")
 	if err != nil {
@@ -173,6 +186,9 @@ func chaos(plan *faults.Plan, ops int) {
 			scope: fmt.Sprintf("srv%d", i),
 			addr:  "127.0.0.1:0",
 			dir:   filepath.Join(root, fmt.Sprintf("srv%d", i)),
+		}
+		if spansDir != "" {
+			servers[i].tracer = obs.NewXTracer(servers[i].scope, 0)
 		}
 		if err := os.MkdirAll(servers[i].dir, 0o755); err != nil {
 			log.Fatal(err)
@@ -200,8 +216,19 @@ func chaos(plan *faults.Plan, ops int) {
 	// retry jitter from the plan seed, deadlines, breaker on.
 	reg := obs.NewRegistry()
 	plan.SetObs(reg)
+	var clientTracer *obs.XTracer
+	if spansDir != "" {
+		// The client tracer also receives the plan's fault instants, so
+		// injected resets/crashes show up on the merged timeline next to
+		// the requests they disturbed.
+		clientTracer = obs.NewXTracer("client", 0)
+		clientTracer.SetDropCounter(reg.Counter("obs.trace.dropped_events"))
+		plan.SetTracer(clientTracer)
+	}
 	client := pfsnet.NewIBridgeClient(ms.Addr(), 20*1024, 20*1024)
 	client.Obs = reg
+	client.Tracer = clientTracer
+	client.TrackLatency = true
 	client.FaultPlan = plan
 	client.FaultScope = "client"
 	client.Seed = plan.Seed()
@@ -256,7 +283,7 @@ func chaos(plan *faults.Plan, ops int) {
 		b := make([]byte, blockLen)
 		x := faults.Mix64(plan.Seed() ^ uint64(i))
 		for j := range b {
-			b[j] = byte(faults.Mix64(x + uint64(j>>3)) >> uint(8*(j&7)))
+			b[j] = byte(faults.Mix64(x+uint64(j>>3)) >> uint(8*(j&7)))
 		}
 		return b
 	}
@@ -293,6 +320,33 @@ func chaos(plan *faults.Plan, ops int) {
 		}
 	}
 	fmt.Printf("verified %d blocks (%d MB) byte-for-byte\n", ops, int64(ops)*blockLen>>20)
+
+	// Span files are written (and reported) before the summary: span
+	// counts depend on retry timing, so they must stay out of the
+	// reproducible CHAOS SUMMARY section.
+	if spansDir != "" {
+		if err := os.MkdirAll(spansDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		writeSpans := func(name string, tr *obs.XTracer) {
+			path := filepath.Join(spansDir, name+".spans")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.WriteSpans(f); err != nil {
+				log.Fatalf("chaos: span file %s: %v", path, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("chaos: span file %s: %v", path, err)
+			}
+			fmt.Printf("spans: %d events to %s\n", tr.Len(), path)
+		}
+		writeSpans("client", clientTracer)
+		for _, s := range servers {
+			writeSpans(s.scope, s.tracer)
+		}
+	}
 
 	// The summary below is the reproducibility contract: a second run of
 	// the same plan must print identical lines (ephemeral ports and

@@ -195,11 +195,18 @@ func New(cfg Config) (*Cluster, error) {
 			c.Bridges = append(c.Bridges, b)
 			stores[i] = b
 			if at, ok := cfg.Faults.SSDFailAt(fmt.Sprintf("srv%d", i)); ok {
-				br, plan := b, cfg.Faults
+				br, plan, srv := b, cfg.Faults, i
 				e.Go(fmt.Sprintf("ssdfail%d", i), func(p *sim.Proc) {
 					p.Sleep(sim.Duration(at))
 					br.FailSSD(p)
 					plan.NoteSSDFail()
+					if tr != nil {
+						// Mirror the injection into the sim trace at its
+						// virtual fire time, so the Chrome timeline shows
+						// the failure instant amid the request spans it
+						// degrades.
+						tr.Instant(p.Now(), run, fmt.Sprintf("srv%d", srv), "fault.ssdfail", 0)
+					}
 				})
 			}
 		}

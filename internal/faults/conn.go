@@ -43,12 +43,12 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	// Reset and partial-write schedules count conn writes: the write
 	// sequence is a pure function of the protocol traffic, unlike read
 	// sizes, which depend on TCP segmentation.
-	if c.plan.fire(kindReset) {
+	if c.plan.fire(kindReset, c.scope) {
 		c.dead.Store(true)
 		c.Conn.Close()
 		return 0, errReset
 	}
-	if c.plan.fire(kindPartial) && len(b) > 1 {
+	if c.plan.fire(kindPartial, c.scope) && len(b) > 1 {
 		n, _ := c.Conn.Write(b[:len(b)/2])
 		c.dead.Store(true)
 		c.Conn.Close()
@@ -70,12 +70,12 @@ func (c *faultConn) WriteBuffers(v *net.Buffers) (int64, error) {
 		return 0, errReset
 	}
 	c.maybeSleep()
-	if c.plan.fire(kindReset) {
+	if c.plan.fire(kindReset, c.scope) {
 		c.dead.Store(true)
 		c.Conn.Close()
 		return 0, errReset
 	}
-	if c.plan.fire(kindPartial) {
+	if c.plan.fire(kindPartial, c.scope) {
 		var total int64
 		for _, b := range *v {
 			total += int64(len(b))
@@ -115,7 +115,7 @@ func (c *faultConn) Read(b []byte) (int, error) {
 	// Corruption clobbers one byte of whatever arrived. Firing is only
 	// approximately deterministic (read calls depend on segmentation);
 	// the deterministic acceptance plans use resets and crashes instead.
-	if n > 0 && c.plan.fire(kindCorrupt) {
+	if n > 0 && c.plan.fire(kindCorrupt, c.scope) {
 		i := int(splitmix(c.plan.seed^c.plan.ops[kindCorrupt].Load()) % uint64(n))
 		b[i] ^= 0xFF
 	}
@@ -126,7 +126,10 @@ func (c *faultConn) Read(b []byte) (int, error) {
 // wall-clock effect in the subsystem: it changes *when* things happen,
 // never *which* faults fire.
 func (c *faultConn) maybeSleep() {
-	if c.plan.fire(kindLatency) {
+	if !c.plan.latencyApplies(c.scope) {
+		return
+	}
+	if c.plan.fire(kindLatency, c.scope) {
 		n := c.plan.ops[kindLatency].Load()
 		time.Sleep(c.plan.latency(n)) //lint:allow detclock fault injector's real-timer latency effect
 	}
@@ -159,7 +162,7 @@ func (l *faultListener) Accept() (net.Conn, error) {
 // With a nil plan it is exactly net.DialTimeout (or net.Dial when
 // timeout is zero).
 func (p *Plan) Dial(scope, network, addr string, timeout time.Duration) (net.Conn, error) {
-	if p != nil && p.fire(kindRefuse) {
+	if p != nil && p.fire(kindRefuse, scope) {
 		return nil, errRefused
 	}
 	var c net.Conn

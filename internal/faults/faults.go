@@ -19,7 +19,11 @@
 //	refuse=RATE                injected dial refusals
 //	partial=RATE               short write then reset, on conn writes
 //	corrupt=RATE               clobber a byte of a conn read
-//	latency=DUR[-DUR][@RATE]   added delay per conn read/write (default every op)
+//	latency=[SCOPE:]DUR[-DUR][@RATE]
+//	                           added delay per conn read/write (default every
+//	                           op); with a SCOPE: prefix only that endpoint's
+//	                           conns are delayed — the knob that makes one
+//	                           server a straggler
 //	crash=SCOPE@OP+DOWN        sever SCOPE before driver op OP, restart DOWN ops later
 //	ssdfail=SCOPE@N            fail SCOPE's SSD after N fragment-log writes
 //	ssdfail=SCOPE@DUR          fail SCOPE's SSD at simulated time DUR (sim clusters)
@@ -134,9 +138,10 @@ type Plan struct {
 	seed uint64
 	spec string
 
-	rates     [numKinds]rateRule
-	latencyLo time.Duration
-	latencyHi time.Duration
+	rates        [numKinds]rateRule
+	latencyLo    time.Duration
+	latencyHi    time.Duration
+	latencyScope string // "" = every scope
 
 	events   []Event
 	ssdFails []ssdFailRule
@@ -144,7 +149,8 @@ type Plan struct {
 	ops      [numKinds]atomic.Uint64 // eligible-operation counters
 	injected [numKinds]atomic.Int64  // fired-fault counters
 
-	reg atomic.Pointer[obs.Registry]
+	reg    atomic.Pointer[obs.Registry]
+	tracer atomic.Pointer[obs.XTracer]
 }
 
 // Parse builds a Plan from a spec string (see the package comment for
@@ -236,8 +242,13 @@ func parseRate(s string) (uint64, error) {
 	return uint64(100/f + 0.5), nil
 }
 
-// parseLatency parses DUR[-DUR][@RATE].
+// parseLatency parses [SCOPE:]DUR[-DUR][@RATE].
 func (p *Plan) parseLatency(val string) error {
+	// A scope prefix is unambiguous: durations never contain ':'.
+	if scope, rest, ok := strings.Cut(val, ":"); ok {
+		p.latencyScope = strings.TrimSpace(scope)
+		val = rest
+	}
 	rate := uint64(1) // default: every op
 	if dur, r, ok := strings.Cut(val, "@"); ok {
 		var err error
@@ -331,6 +342,17 @@ func (p *Plan) SetObs(reg *obs.Registry) {
 	}
 }
 
+// SetTracer mirrors every injected fault into tr as a "fault.<kind>"
+// instant event, so a merged trace shows exactly where the injections
+// landed among the request spans. The timestamp is taken inside obs
+// (InstantNow): this package stays off the deterministic-clock surface.
+// Safe on a nil plan.
+func (p *Plan) SetTracer(tr *obs.XTracer) {
+	if p != nil {
+		p.tracer.Store(tr)
+	}
+}
+
 // Counts returns the number of injected faults per kind (only kinds that
 // fired appear). The internal counters always run, so reproducibility
 // checks do not depend on an obs registry being attached.
@@ -378,7 +400,7 @@ func (p *Plan) Events() []Event {
 // them, so the driver reports them).
 func (p *Plan) NoteCrash() {
 	if p != nil {
-		p.note(kindCrash)
+		p.note(kindCrash, "")
 	}
 }
 
@@ -413,13 +435,20 @@ func (p *Plan) SSDFailAt(scope string) (time.Duration, bool) {
 // NoteSSDFail records one executed SSD failure.
 func (p *Plan) NoteSSDFail() {
 	if p != nil {
-		p.note(kindSSDFail)
+		p.note(kindSSDFail, "")
 	}
+}
+
+// latencyApplies reports whether the latency clause targets scope. The
+// check runs before fire so the stride schedule counts only eligible
+// (in-scope) operations.
+func (p *Plan) latencyApplies(scope string) bool {
+	return p.latencyScope == "" || p.latencyScope == scope
 }
 
 // fire advances kind k's eligible-op counter and reports whether the
 // stride schedule injects a fault at this op.
-func (p *Plan) fire(k kind) bool {
+func (p *Plan) fire(k kind, scope string) bool {
 	if p == nil {
 		return false
 	}
@@ -431,15 +460,19 @@ func (p *Plan) fire(k kind) bool {
 	if r.period > 1 && n%r.period != r.phase {
 		return false
 	}
-	p.note(k)
+	p.note(k, scope)
 	return true
 }
 
-// note counts one injected fault and mirrors it to the obs registry.
-func (p *Plan) note(k kind) {
+// note counts one injected fault and mirrors it to the obs registry and
+// the cross-process tracer.
+func (p *Plan) note(k kind, scope string) {
 	p.injected[k].Add(1)
 	if reg := p.reg.Load(); reg != nil {
 		reg.Counter("faults.injected." + kindNames[k]).Inc()
+	}
+	if tr := p.tracer.Load(); tr != nil {
+		tr.InstantNow("fault."+kindNames[k], scope)
 	}
 }
 

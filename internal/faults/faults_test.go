@@ -59,7 +59,7 @@ func TestNilPlanDisarmed(t *testing.T) {
 	if got := p.WrapConn(c1, "x"); got != c1 {
 		t.Fatalf("nil plan WrapConn returned a wrapper")
 	}
-	if p.fire(kindReset) {
+	if p.fire(kindReset, "") {
 		t.Fatalf("nil plan fired")
 	}
 	if _, ok := p.SSDFailWrites("srv0"); ok {
@@ -154,7 +154,7 @@ func TestSeedMovesPhase(t *testing.T) {
 	firstFire := func(seed uint64) int {
 		p := MustParse(fmt.Sprintf("seed=%d;reset=1/64", seed))
 		for i := 0; ; i++ {
-			if p.fire(kindReset) {
+			if p.fire(kindReset, "") {
 				return i
 			}
 		}
@@ -422,8 +422,8 @@ func TestCountsString(t *testing.T) {
 	if s := p.CountsString(); s != "none" {
 		t.Fatalf("fresh plan CountsString = %q", s)
 	}
-	p.note(kindReset)
-	p.note(kindCrash)
+	p.note(kindReset, "")
+	p.note(kindCrash, "")
 	if s := p.CountsString(); s != "crash=1 reset=1" {
 		t.Fatalf("CountsString = %q", s)
 	}

@@ -66,6 +66,11 @@ func New(cfg Config) *Set {
 	}
 	if cfg.Trace {
 		s.tr = NewTracer(cfg.MaxTraceEvents)
+		if s.reg != nil {
+			// Surface overflow in the metrics: a truncated trace should
+			// show up in the registry, not be discovered by its absence.
+			s.tr.SetDropCounter(s.reg.Counter("obs.trace.dropped_events"))
+		}
 	}
 	return s
 }

@@ -1,0 +1,154 @@
+package sketch
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for driving window rotation.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestSketch(windows int, width time.Duration) (*Sketch, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	return NewAt(windows, width, c.now), c
+}
+
+func TestSketchEmpty(t *testing.T) {
+	s, _ := newTestSketch(4, time.Second)
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if got := s.Quantile(0.95); got != 0 {
+		t.Fatalf("Quantile(0.95) = %g, want 0 on empty sketch", got)
+	}
+}
+
+func TestSketchQuantiles(t *testing.T) {
+	s, _ := newTestSketch(4, time.Second)
+	for v := 1.0; v <= 100; v++ {
+		s.Observe(v)
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count())
+	}
+	qs := s.Quantiles(0, 0.5, 1)
+	if qs[0] != 1 || qs[2] != 100 {
+		t.Errorf("Quantiles extremes = %g/%g, want 1/100", qs[0], qs[2])
+	}
+	// Bucket interpolation: p50 within one exp bucket (~1.3x) of 50.
+	if qs[1] < 35 || qs[1] > 70 {
+		t.Errorf("p50 = %g, want near 50", qs[1])
+	}
+}
+
+// The defining property: observations decay out of the estimate once
+// their window rotates past the horizon.
+func TestSketchDecay(t *testing.T) {
+	s, c := newTestSketch(4, time.Second)
+	for i := 0; i < 50; i++ {
+		s.Observe(1000) // slow era
+	}
+	if p95 := s.Quantile(0.95); p95 < 500 {
+		t.Fatalf("p95 = %g during slow era, want ~1000", p95)
+	}
+	// Two windows later the slow samples are still inside the horizon.
+	c.advance(2 * time.Second)
+	for i := 0; i < 50; i++ {
+		s.Observe(1) // fast era
+	}
+	if p99 := s.Quantile(0.99); p99 < 500 {
+		t.Fatalf("p99 = %g with slow era still in horizon, want ~1000", p99)
+	}
+	// Past the full horizon the slow era must be forgotten.
+	c.advance(5 * time.Second)
+	for i := 0; i < 50; i++ {
+		s.Observe(1)
+	}
+	if p99 := s.Quantile(0.99); p99 > 10 {
+		t.Fatalf("p99 = %g after slow era aged out, want ~1", p99)
+	}
+	if n := s.Count(); n != 50 {
+		t.Fatalf("Count = %d after decay, want 50", n)
+	}
+}
+
+// An idle gap longer than the whole horizon clears every window, even
+// though fewer than len(windows) rotations happen per rotate call.
+func TestSketchLongIdleGap(t *testing.T) {
+	s, c := newTestSketch(4, time.Second)
+	for i := 0; i < 10; i++ {
+		s.Observe(42)
+	}
+	c.advance(time.Hour)
+	if n := s.Count(); n != 0 {
+		t.Fatalf("Count = %d after long idle gap, want 0", n)
+	}
+	s.Observe(7)
+	if got := s.Quantile(1); got != 7 {
+		t.Fatalf("Quantile(1) = %g after gap, want 7", got)
+	}
+}
+
+// Sub-window advances must not rotate; rotation happens only on full
+// window boundaries, measured from the sketch's own start instant.
+func TestSketchPartialWindowNoRotate(t *testing.T) {
+	s, c := newTestSketch(2, time.Second)
+	s.Observe(5)
+	c.advance(999 * time.Millisecond)
+	s.Observe(6)
+	if n := s.Count(); n != 2 {
+		t.Fatalf("Count = %d, want 2 (no rotation inside a window)", n)
+	}
+	c.advance(2 * time.Millisecond) // crosses the 1 s boundary once
+	if n := s.Count(); n != 2 {
+		t.Fatalf("Count = %d, want 2 (one rotation keeps a 2-window ring)", n)
+	}
+}
+
+func TestSketchDefaults(t *testing.T) {
+	s := New(0, 0)
+	if len(s.windows) != DefaultWindows || s.width != DefaultWidth {
+		t.Fatalf("defaults = %d windows x %v, want %d x %v",
+			len(s.windows), s.width, DefaultWindows, DefaultWidth)
+	}
+	s.Observe(1)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestSketchConcurrent(t *testing.T) {
+	s, c := newTestSketch(4, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(float64(i % 100))
+				if i%100 == 0 {
+					s.Quantiles(0.5, 0.95, 0.99)
+					c.advance(time.Millisecond / 2)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.Quantile(0.99) // must not panic on mixed-rotation state
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"sort"
 	"sync"
 
@@ -26,12 +27,16 @@ type Event struct {
 
 // Tracer records request-flow events. Recording takes a mutex and an
 // amortized slice append; the buffer is bounded and overflow is counted
-// rather than grown without limit.
+// rather than grown without limit. Overflow is not silent: the drop
+// count is mirrored into a registry counter when one is attached (see
+// SetDropCounter) and the first drop logs a warning.
 type Tracer struct {
 	mu      sync.Mutex
 	events  []Event
 	max     int
 	dropped int64
+	dropC   *Counter
+	warned  bool
 }
 
 // DefaultMaxEvents bounds the tracer buffer when Config.MaxTraceEvents
@@ -57,13 +62,33 @@ func (t *Tracer) Instant(ts sim.Time, run int32, comp, name string, id int64) {
 	t.record(Event{TS: ts, Run: run, Comp: comp, Name: name, ID: id})
 }
 
+// SetDropCounter mirrors buffer-overflow drops into c — conventionally
+// the registry's "obs.trace.dropped_events" counter (wired by New when
+// both metrics and tracing are enabled) — so a truncated trace is
+// visible in the metrics instead of only inside the tracer.
+func (t *Tracer) SetDropCounter(c *Counter) {
+	t.mu.Lock()
+	t.dropC = c
+	t.mu.Unlock()
+}
+
 func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
 	if len(t.events) >= t.max {
 		t.dropped++
-	} else {
-		t.events = append(t.events, ev)
+		if t.dropC != nil {
+			t.dropC.Inc()
+		}
+		warn := !t.warned
+		t.warned = true
+		max := t.max
+		t.mu.Unlock()
+		if warn {
+			log.Printf("obs: trace buffer full (%d events); dropping further events (count: obs.trace.dropped_events)", max)
+		}
+		return
 	}
+	t.events = append(t.events, ev)
 	t.mu.Unlock()
 }
 

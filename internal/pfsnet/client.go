@@ -3,6 +3,7 @@ package pfsnet
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/sketch"
 	"repro/internal/stripe"
 )
 
@@ -56,8 +58,26 @@ type Client struct {
 	// Obs, when set before the first request, receives wire-level
 	// metrics under "pfsnet.client.*" (frames, bytes, in-flight depth,
 	// send-queue wait, writev batching) and the resilience metrics
-	// (retries, deadline_exceeded, breaker state).
+	// (retries, deadline_exceeded, breaker state). It also arms the
+	// per-server latency sketches and their
+	// "pfsnet.client.server.<addr>.<class>.{p50,p95,p99}" gauges.
 	Obs *obs.Registry
+	// Tracer, when set before the first request, records a parent span
+	// per ReadAt/WriteAt and propagates its {traceID, parentSpanID}
+	// context to data servers over connections whose hello negotiated
+	// the featTrace wire extension (v1 and older-v2 peers silently see
+	// untraced frames). Nil costs one pointer test per request.
+	Tracer *obs.XTracer
+	// TrackLatency arms the per-server windowed latency sketches even
+	// without a metrics registry, so LatencySnapshot works standalone
+	// (the straggler-aware read path's input).
+	TrackLatency bool
+	// SlowLog, when set before the first request, receives one JSON
+	// line per ReadAt/WriteAt whose latency exceeds the op class's
+	// sketch-derived p99 (after slowLogMinSamples observations warm the
+	// sketch), with per-fragment server timings — a "wide event" for
+	// tail debugging.
+	SlowLog io.Writer
 
 	// DialTimeout bounds connection establishment, including protocol
 	// negotiation (0 = no timeout).
@@ -105,6 +125,14 @@ type Client struct {
 	data     map[string][]*conn
 	next     map[string]int
 	breakers map[string]*breaker
+
+	// latMu guards the lazily created latency sketches; slowMu
+	// serializes SlowLog writes so concurrent slow events cannot
+	// interleave JSON lines.
+	latMu    sync.Mutex
+	sketches map[latKey]*sketch.Sketch
+	parentSk map[string]*sketch.Sketch
+	slowMu   sync.Mutex
 }
 
 // Resilience defaults applied by NewClient. Overridable per client; -1
@@ -134,12 +162,13 @@ type conn struct {
 	mu sync.Mutex
 
 	// v2 state.
-	sendq   chan *wireCall
-	dead    chan struct{}
-	pendMu  sync.Mutex
-	pending map[uint64]*wireCall
-	nextTag uint64
-	failed  error // set once, under pendMu, when the conn dies
+	sendq    chan *wireCall
+	dead     chan struct{}
+	features uint32 // hello-negotiated feature bits (featTrace, ...)
+	pendMu   sync.Mutex
+	pending  map[uint64]*wireCall
+	nextTag  uint64
+	failed   error // set once, under pendMu, when the conn dies
 }
 
 // wireCall is one in-flight tagged request. Batch submission links
@@ -153,6 +182,11 @@ type wireCall struct {
 	next    *wireCall // rest of a batch chain
 	enq     time.Time // for the queue-wait metric; zero when obs is off
 	done    chan struct{}
+
+	// tcID/tcSpan, when tcID is nonzero, make the writer emit this call
+	// as a traced frame (trace context behind the header). Only set on
+	// connections that negotiated featTrace.
+	tcID, tcSpan uint64
 
 	// scatter, when non-nil, asks the reader to deposit a successful
 	// read reply's data directly here instead of a pooled intermediate;
@@ -171,6 +205,7 @@ const connBufSize = 64 << 10
 // dialOpts carries the per-client connection settings into dialConn.
 type dialOpts struct {
 	maxProto    int
+	features    uint32
 	noVec       bool
 	wm          *wireMetrics
 	dialTimeout time.Duration
@@ -187,8 +222,13 @@ func (c *Client) dialOpts(wm *wireMetrics) dialOpts {
 	if scope == "" {
 		scope = "client"
 	}
+	var features uint32
+	if c.Tracer != nil {
+		features = featTrace
+	}
 	return dialOpts{
 		maxProto:    c.MaxProto,
+		features:    features,
 		noVec:       c.DisableVectored,
 		wm:          wm,
 		dialTimeout: c.DialTimeout,
@@ -224,7 +264,7 @@ func dialConn(addr string, o dialOpts) (*conn, error) {
 		if c.ioTimeout > 0 {
 			nc.SetDeadline(time.Now().Add(c.ioTimeout))
 		}
-		if err := c.negotiate(maxProto); err != nil {
+		if err := c.negotiate(maxProto, o.features); err != nil {
 			nc.Close()
 			return nil, wrapTimeout(err)
 		}
@@ -236,11 +276,16 @@ func dialConn(addr string, o dialOpts) (*conn, error) {
 }
 
 // negotiate sends the opHello and interprets the peer's answer: opOK
-// carries the agreed version, opError means a v1 peer that rejected the
+// carries the agreed version (and, from feature-aware servers, the
+// agreed feature set), opError means a v1 peer that rejected the
 // unknown opcode (fall back silently).
-func (c *conn) negotiate(maxProto int) error {
+func (c *conn) negotiate(maxProto int, features uint32) error {
 	e := newEnc()
 	e.u32(uint32(maxProto))
+	// The feature word always goes out — older servers ignore trailing
+	// hello bytes and omit the word from their reply, which reads back
+	// as "no features".
+	e.u32(features)
 	err := writeFrame(c.bw, ProtoV1, 0, opHello, e.b)
 	putBuf(e.b)
 	if err != nil {
@@ -261,9 +306,17 @@ func (c *conn) negotiate(maxProto int) error {
 		if d.err != nil {
 			return d.err
 		}
+		if len(fr.payload) >= 8 {
+			c.features = d.u32() & features
+			if d.err != nil {
+				return d.err
+			}
+		}
 		if v >= ProtoV2 {
 			c.ver = ProtoV2
 			c.startPipeline()
+		} else {
+			c.features = 0 // features are a v2 construct
 		}
 		return nil
 	case opError:
@@ -332,7 +385,12 @@ func (c *conn) writeLoopVec() {
 			for ; w != nil; w = w.next {
 				c.wm.observeQueueWait(w.enq)
 				n := len(w.payload)
-				err := vw.writeFrame(c.ver, w.tag, w.op, w.payload)
+				var err error
+				if w.tcID != 0 {
+					err = vw.writeFrameCtx(w.tag, w.op, w.tcID, w.tcSpan, w.payload)
+				} else {
+					err = vw.writeFrame(c.ver, w.tag, w.op, w.payload)
+				}
 				w.payload = nil
 				if err != nil {
 					releaseChain(w.next)
@@ -369,7 +427,12 @@ func (c *conn) writeLoopBuffered() {
 				if c.ioTimeout > 0 {
 					c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
 				}
-				err := writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
+				var err error
+				if w.tcID != 0 {
+					err = writeFrameCtx(c.bw, w.tag, w.op, w.tcID, w.tcSpan, w.payload)
+				} else {
+					err = writeFrame(c.bw, c.ver, w.tag, w.op, w.payload)
+				}
 				n := len(w.payload)
 				putBuf(w.payload)
 				w.payload = nil
@@ -541,16 +604,21 @@ func (c *conn) close() error {
 // exactly once, on every path. The pooled reply belongs to the caller,
 // who putBufs it once decoded.
 func (c *conn) call(op byte, payload []byte) ([]byte, error) {
-	reply, _, err := c.exchange(op, payload, nil)
+	reply, _, err := c.exchange(op, payload, nil, 0, 0)
 	return reply, err
 }
 
-// exchange is call with an optional scatter destination: a non-nil dst
+// exchange is call with an optional scatter destination (a non-nil dst
 // asks for a successful read reply's data to land directly in dst, in
-// which case the reply is nil and the int result is the byte count.
-func (c *conn) exchange(op byte, payload, dst []byte) ([]byte, int, error) {
+// which case the reply is nil and the int result is the byte count) and
+// an optional trace context, applied only when the connection
+// negotiated featTrace.
+func (c *conn) exchange(op byte, payload, dst []byte, tcID, tcSpan uint64) ([]byte, int, error) {
 	if c.ver >= ProtoV2 {
 		w := &wireCall{op: op, payload: payload, scatter: dst, done: make(chan struct{})}
+		if tcID != 0 && c.features&featTrace != 0 {
+			w.tcID, w.tcSpan = tcID, tcSpan
+		}
 		if err := c.start(w); err != nil {
 			return nil, 0, err
 		}
@@ -814,6 +882,247 @@ func (c *Client) ServerDegraded(addr string) bool {
 	return b.isOpen()
 }
 
+// latKey identifies one per-server, per-op-class latency sketch.
+type latKey struct {
+	addr, class string
+}
+
+// slowLogMinSamples is the sketch warm-up before slow-request wide
+// events fire: below it the p99 estimate is noise and every early
+// request would log itself.
+const slowLogMinSamples = 20
+
+// opClass names the latency class of a data opcode.
+func opClass(op byte) string {
+	switch op {
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opFlush:
+		return "flush"
+	default:
+		return "other"
+	}
+}
+
+// latArmed reports whether per-server latency sketches are on. Reads
+// fields set before the first request, so it is race-free unlocked.
+func (c *Client) latArmed() bool { return c.TrackLatency || c.Obs != nil }
+
+// sketchFor returns the windowed latency sketch for (addr, class),
+// creating it — and, when a registry is attached, its three quantile
+// gauges — on first use. Nil when latency tracking is off: the hot
+// path pays two pointer tests and nothing else.
+func (c *Client) sketchFor(addr, class string) *sketch.Sketch {
+	if !c.latArmed() {
+		return nil
+	}
+	k := latKey{addr, class}
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if c.sketches == nil {
+		c.sketches = make(map[latKey]*sketch.Sketch)
+	}
+	sk := c.sketches[k]
+	if sk == nil {
+		sk = sketch.New(0, 0)
+		c.sketches[k] = sk
+		if c.Obs != nil {
+			prefix := "pfsnet.client.server." + addr + "." + class + "."
+			for _, g := range []struct {
+				name string
+				q    float64
+			}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+				q := g.q
+				c.Obs.RegisterFunc(prefix+g.name, func() float64 { return sk.Quantile(q) })
+			}
+		}
+	}
+	return sk
+}
+
+// parentSketch returns the whole-request latency sketch for an op
+// class — the reference distribution slow-request events compare
+// against. Kept separate from the per-server sketches so fan-out
+// requests do not skew per-server tails.
+func (c *Client) parentSketch(class string) *sketch.Sketch {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if c.parentSk == nil {
+		c.parentSk = make(map[string]*sketch.Sketch)
+	}
+	sk := c.parentSk[class]
+	if sk == nil {
+		sk = sketch.New(0, 0)
+		c.parentSk[class] = sk
+	}
+	return sk
+}
+
+// ServerLatency is one row of LatencySnapshot: the recent (windowed)
+// latency quantiles the client has observed against one data server
+// for one op class, in milliseconds.
+type ServerLatency struct {
+	Server string
+	Class  string
+	Count  int64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// LatencySnapshot returns the client's current per-server latency
+// estimates, sorted by (Server, Class). The straggler-aware read path
+// consumes this to pick hedging targets; tests use it to see a skewed
+// server separate from its peers.
+func (c *Client) LatencySnapshot() []ServerLatency {
+	c.latMu.Lock()
+	keys := make([]latKey, 0, len(c.sketches))
+	for k := range c.sketches {
+		//lint:allow detmaprange sorted below before use
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].addr != keys[j].addr {
+			return keys[i].addr < keys[j].addr
+		}
+		return keys[i].class < keys[j].class
+	})
+	sks := make([]*sketch.Sketch, len(keys))
+	for i, k := range keys {
+		sks[i] = c.sketches[k]
+	}
+	c.latMu.Unlock()
+	rows := make([]ServerLatency, len(keys))
+	for i, k := range keys {
+		qs := sks[i].Quantiles(0.50, 0.95, 0.99)
+		rows[i] = ServerLatency{
+			Server: k.addr, Class: k.class,
+			Count: sks[i].Count(),
+			P50:   qs[0], P95: qs[1], P99: qs[2],
+		}
+	}
+	return rows
+}
+
+// FragTiming is one fragment (sub-request) line of a slow-request wide
+// event: which server it went to, where, how long it took.
+type FragTiming struct {
+	Server string  `json:"server"`
+	Off    int64   `json:"off"`
+	Len    int64   `json:"len"`
+	MS     float64 `json:"ms"`
+	Err    string  `json:"err,omitempty"`
+}
+
+// parentReq is the per-ReadAt/WriteAt context threaded through the
+// fan-out: the trace ids propagated to servers, and the per-fragment
+// timings a slow-request event reports. Nil when neither tracing nor
+// the slow log is armed — every touch point is pointer-guarded.
+type parentReq struct {
+	op    string
+	class string
+	trace uint64
+	span  uint64
+	start time.Time
+
+	mu    sync.Mutex
+	frags []FragTiming
+}
+
+func (pr *parentReq) addFrag(server string, sub stripe.Sub, d time.Duration, err error) {
+	if pr == nil {
+		return
+	}
+	ft := FragTiming{Server: server, Off: sub.ServerOff, Len: sub.Length, MS: float64(d) / 1e6}
+	if err != nil {
+		ft.Err = err.Error()
+	}
+	pr.mu.Lock()
+	pr.frags = append(pr.frags, ft)
+	pr.mu.Unlock()
+}
+
+// startParent opens the per-request context, or returns nil when no
+// observer wants it.
+func (c *Client) startParent(op, class string) *parentReq {
+	if c.Tracer == nil && c.SlowLog == nil {
+		return nil
+	}
+	pr := &parentReq{op: op, class: class, start: time.Now()}
+	if c.Tracer != nil {
+		pr.trace = c.Tracer.NewID()
+		pr.span = c.Tracer.NewID()
+	}
+	return pr
+}
+
+// slowEvent is the JSON shape of one slow-request wide event.
+type slowEvent struct {
+	TS    string       `json:"ts"`
+	Op    string       `json:"op"`
+	Trace string       `json:"trace,omitempty"`
+	Off   int64        `json:"off"`
+	Len   int64        `json:"len"`
+	MS    float64      `json:"ms"`
+	P99MS float64      `json:"p99_ms"`
+	Err   string       `json:"err,omitempty"`
+	Frags []FragTiming `json:"frags,omitempty"`
+}
+
+// finishParent closes the per-request context: it emits the client
+// parent span and, when the request ran past the op class's current
+// p99 (sampled before this request joins the distribution, so one
+// slow request cannot raise its own bar), one wide-event JSON line
+// with the per-fragment timings.
+func (c *Client) finishParent(pr *parentReq, off, length int64, err error) {
+	if pr == nil {
+		return
+	}
+	dur := time.Since(pr.start)
+	c.Tracer.Span(pr.trace, pr.span, 0, pr.op, pr.class, pr.start, dur)
+	if c.SlowLog == nil {
+		return
+	}
+	sk := c.parentSketch(pr.class)
+	ms := float64(dur) / 1e6
+	n := sk.Count()
+	p99 := sk.Quantile(0.99)
+	sk.Observe(ms)
+	if n < slowLogMinSamples || ms <= p99 {
+		return
+	}
+	pr.mu.Lock()
+	frags := append([]FragTiming(nil), pr.frags...)
+	pr.mu.Unlock()
+	sort.Slice(frags, func(i, j int) bool {
+		if frags[i].Server != frags[j].Server {
+			return frags[i].Server < frags[j].Server
+		}
+		return frags[i].Off < frags[j].Off
+	})
+	ev := slowEvent{
+		TS: time.Now().UTC().Format(time.RFC3339Nano),
+		Op: pr.op, Off: off, Len: length,
+		MS: ms, P99MS: p99, Frags: frags,
+	}
+	if pr.trace != 0 {
+		ev.Trace = fmt.Sprintf("%016x", pr.trace)
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	line, jerr := json.Marshal(ev)
+	if jerr != nil {
+		return
+	}
+	line = append(line, '\n')
+	c.slowMu.Lock()
+	c.SlowLog.Write(line) //lint:allow lockio slowMu exists only to keep wide-event lines atomic; cold path, past-p99 requests only
+	c.slowMu.Unlock()
+}
+
 func (c *Client) metaConn() (*conn, error) {
 	c.mu.Lock()
 	if c.meta != nil {
@@ -905,9 +1214,10 @@ func (c *Client) dropDataConn(addr string, cn *conn) {
 // ownership of the encoded buffer transfers to the connection (DESIGN
 // §11), so a retry needs a fresh one. dst, when non-nil, enables the
 // scatter-read path of conn.exchange.
-func (c *Client) dataCall(addr string, op byte, encode func() []byte, dst []byte) ([]byte, int, error) {
+func (c *Client) dataCall(addr string, op byte, encode func() []byte, dst []byte, pr *parentReq) ([]byte, int, error) {
 	rm := c.resMetrics()
 	b := c.breakerFor(addr)
+	sk := c.sketchFor(addr, opClass(op))
 	retries := c.MaxRetries
 	if retries < 0 {
 		retries = 0
@@ -923,8 +1233,17 @@ func (c *Client) dataCall(addr string, op byte, encode func() []byte, dst []byte
 			rm.onFastFail()
 			return nil, 0, err
 		}
-		reply, n, err := c.tryDataCall(addr, op, encode, dst)
+		var t0 time.Time
+		if sk != nil {
+			t0 = time.Now()
+		}
+		reply, n, err := c.tryDataCall(addr, op, encode, dst, pr)
 		if err == nil {
+			if sk != nil {
+				// One observation per successful attempt: what this server
+				// actually delivered, not the whole retry sequence.
+				sk.Observe(float64(time.Since(t0)) / 1e6)
+			}
 			c.recordOutcome(b, rm, probe, true)
 			return reply, n, nil
 		}
@@ -956,12 +1275,16 @@ func (c *Client) dataCall(addr string, op byte, encode func() []byte, dst []byte
 // tryDataCall is one attempt of a data request: take a pooled conn,
 // exchange, and drop the conn from the pool if the transport failed
 // under it so the next attempt redials.
-func (c *Client) tryDataCall(addr string, op byte, encode func() []byte, dst []byte) ([]byte, int, error) {
+func (c *Client) tryDataCall(addr string, op byte, encode func() []byte, dst []byte, pr *parentReq) ([]byte, int, error) {
 	cn, err := c.dataConn(addr)
 	if err != nil {
 		return nil, 0, err
 	}
-	reply, n, err := cn.exchange(op, encode(), dst)
+	var tcID, tcSpan uint64
+	if pr != nil {
+		tcID, tcSpan = pr.trace, pr.span
+	}
+	reply, n, err := cn.exchange(op, encode(), dst, tcID, tcSpan)
 	if err != nil {
 		if _, isRemote := err.(remoteError); !isRemote {
 			c.dropDataConn(addr, cn)
@@ -1129,25 +1452,33 @@ func encodeRead(f *File, sub stripe.Sub) []byte {
 }
 
 // writeSub issues one write sub-request through the resilient path.
-func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random bool) error {
-	reply, _, err := c.dataCall(f.servers[sub.Server], opWrite, func() []byte {
+func (c *Client) writeSub(f *File, off int64, p []byte, sub stripe.Sub, random bool, pr *parentReq) error {
+	addr := f.servers[sub.Server]
+	var t0 time.Time
+	if pr != nil {
+		t0 = time.Now()
+	}
+	reply, _, err := c.dataCall(addr, opWrite, func() []byte {
 		return encodeWrite(f, off, p, sub, random)
-	}, nil)
+	}, nil, pr)
 	putBuf(reply)
+	if pr != nil {
+		pr.addFrag(addr, sub, time.Since(t0), err)
+	}
 	return err
 }
 
 // writeSubs runs write sub-requests through the resilient per-sub path,
 // concurrently when there are several.
-func (c *Client) writeSubs(f *File, off int64, p []byte, subs []stripe.Sub, random bool) error {
+func (c *Client) writeSubs(f *File, off int64, p []byte, subs []stripe.Sub, random bool, pr *parentReq) error {
 	if len(subs) == 1 {
-		return c.writeSub(f, off, p, subs[0], random)
+		return c.writeSub(f, off, p, subs[0], random, pr)
 	}
 	errs := make(chan error, len(subs))
 	for _, sub := range subs {
 		sub := sub
 		go func() {
-			errs <- c.writeSub(f, off, p, sub, random)
+			errs <- c.writeSub(f, off, p, sub, random, pr)
 		}()
 	}
 	var first error
@@ -1180,14 +1511,19 @@ func (c *Client) batchConn(addr string) (*conn, *breaker) {
 // one chain and flushed in a single vectored write; subs whose batched
 // attempt hit a transport failure are retried through the fully
 // resilient per-sub path.
-func (c *Client) writeGroup(f *File, off int64, p []byte, subs []stripe.Sub, random bool) error {
+func (c *Client) writeGroup(f *File, off int64, p []byte, subs []stripe.Sub, random bool, pr *parentReq) error {
 	if len(subs) == 1 {
-		return c.writeSub(f, off, p, subs[0], random)
+		return c.writeSub(f, off, p, subs[0], random, pr)
 	}
 	addr := f.servers[subs[0].Server]
 	cn, b := c.batchConn(addr)
 	if cn == nil {
-		return c.writeSubs(f, off, p, subs, random)
+		return c.writeSubs(f, off, p, subs, random, pr)
+	}
+	sk := c.sketchFor(addr, "write")
+	var tcID, tcSpan uint64
+	if pr != nil && cn.features&featTrace != 0 {
+		tcID, tcSpan = pr.trace, pr.span
 	}
 	calls := make([]*wireCall, len(subs))
 	for i, sub := range subs {
@@ -1195,10 +1531,16 @@ func (c *Client) writeGroup(f *File, off int64, p []byte, subs []stripe.Sub, ran
 			op:      opWrite,
 			payload: encodeWrite(f, off, p, sub, random),
 			done:    make(chan struct{}),
+			tcID:    tcID,
+			tcSpan:  tcSpan,
 		}
 	}
+	var t0 time.Time
+	if sk != nil || pr != nil {
+		t0 = time.Now()
+	}
 	if err := cn.startBatch(calls); err != nil {
-		return c.writeSubs(f, off, p, subs, random)
+		return c.writeSubs(f, off, p, subs, random, pr)
 	}
 	rm := c.resMetrics()
 	var retry []stripe.Sub
@@ -1206,24 +1548,35 @@ func (c *Client) writeGroup(f *File, off int64, p []byte, subs []stripe.Sub, ran
 	for i, w := range calls {
 		<-w.done
 		reply, _, err := cn.finishCall(w)
+		var el time.Duration
+		if sk != nil || pr != nil {
+			el = time.Since(t0)
+		}
 		if err == nil {
 			putBuf(reply)
+			if sk != nil {
+				sk.Observe(float64(el) / 1e6)
+			}
+			pr.addFrag(addr, subs[i], el, nil)
 			c.recordOutcome(b, rm, false, true)
 			continue
 		}
 		if _, isRemote := err.(remoteError); isRemote {
+			pr.addFrag(addr, subs[i], el, err)
 			c.recordOutcome(b, rm, false, true)
 			if first == nil {
 				first = err
 			}
 			continue
 		}
+		// Transport failure: the per-sub retry path records this sub's
+		// fragment timing, so don't double-count it here.
 		retry = append(retry, subs[i])
 	}
 	if len(retry) > 0 {
 		c.dropDataConn(addr, cn)
 		c.recordOutcome(b, rm, false, false)
-		if err := c.writeSubs(f, off, p, retry, random); err != nil && first == nil {
+		if err := c.writeSubs(f, off, p, retry, random, pr); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -1241,20 +1594,27 @@ func (c *Client) WriteAt(f *File, off int64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	pr := c.startParent("WriteAt", "write")
+	err := c.writeAt(f, off, p, pr)
+	c.finishParent(pr, off, int64(len(p)), err)
+	return err
+}
+
+func (c *Client) writeAt(f *File, off int64, p []byte, pr *parentReq) error {
 	random := c.RandomThreshold > 0 && int64(len(p)) < c.RandomThreshold
 	subs := c.subs(f, off, int64(len(p)))
 	if len(subs) == 1 {
-		return c.writeSub(f, off, p, subs[0], random)
+		return c.writeSub(f, off, p, subs[0], random, pr)
 	}
 	groups := groupByServer(subs, len(f.servers))
 	if len(groups) == 1 {
-		return c.writeGroup(f, off, p, groups[0], random)
+		return c.writeGroup(f, off, p, groups[0], random, pr)
 	}
 	errs := make(chan error, len(groups))
 	for _, g := range groups {
 		g := g
 		go func() {
-			errs <- c.writeGroup(f, off, p, g, random)
+			errs <- c.writeGroup(f, off, p, g, random, pr)
 		}()
 	}
 	var first error
@@ -1293,11 +1653,19 @@ func finishRead(reply []byte, n int, dst []byte, want int64) error {
 
 // readSub issues one read sub-request through the resilient path,
 // scattering the reply directly into p on pipelined connections.
-func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
+func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub, pr *parentReq) error {
+	addr := f.servers[sub.Server]
 	dst := p[sub.FileOff-off : sub.FileOff-off+sub.Length]
-	reply, n, err := c.dataCall(f.servers[sub.Server], opRead, func() []byte {
+	var t0 time.Time
+	if pr != nil {
+		t0 = time.Now()
+	}
+	reply, n, err := c.dataCall(addr, opRead, func() []byte {
 		return encodeRead(f, sub)
-	}, dst)
+	}, dst, pr)
+	if pr != nil {
+		pr.addFrag(addr, sub, time.Since(t0), err)
+	}
 	if err != nil {
 		return err
 	}
@@ -1306,15 +1674,15 @@ func (c *Client) readSub(f *File, off int64, p []byte, sub stripe.Sub) error {
 
 // readSubs runs read sub-requests through the resilient per-sub path,
 // concurrently when there are several.
-func (c *Client) readSubs(f *File, off int64, p []byte, subs []stripe.Sub) error {
+func (c *Client) readSubs(f *File, off int64, p []byte, subs []stripe.Sub, pr *parentReq) error {
 	if len(subs) == 1 {
-		return c.readSub(f, off, p, subs[0])
+		return c.readSub(f, off, p, subs[0], pr)
 	}
 	errs := make(chan error, len(subs))
 	for _, sub := range subs {
 		sub := sub
 		go func() {
-			errs <- c.readSub(f, off, p, sub)
+			errs <- c.readSub(f, off, p, sub, pr)
 		}()
 	}
 	var first error
@@ -1330,14 +1698,19 @@ func (c *Client) readSubs(f *File, off int64, p []byte, subs []stripe.Sub) error
 // pipelined connection when possible (replies scatter straight into p);
 // subs whose batched attempt hit a transport failure are retried
 // through the fully resilient per-sub path.
-func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub) error {
+func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub, pr *parentReq) error {
 	if len(subs) == 1 {
-		return c.readSub(f, off, p, subs[0])
+		return c.readSub(f, off, p, subs[0], pr)
 	}
 	addr := f.servers[subs[0].Server]
 	cn, b := c.batchConn(addr)
 	if cn == nil {
-		return c.readSubs(f, off, p, subs)
+		return c.readSubs(f, off, p, subs, pr)
+	}
+	sk := c.sketchFor(addr, "read")
+	var tcID, tcSpan uint64
+	if pr != nil && cn.features&featTrace != 0 {
+		tcID, tcSpan = pr.trace, pr.span
 	}
 	calls := make([]*wireCall, len(subs))
 	for i, sub := range subs {
@@ -1346,10 +1719,16 @@ func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub) erro
 			payload: encodeRead(f, sub),
 			scatter: p[sub.FileOff-off : sub.FileOff-off+sub.Length],
 			done:    make(chan struct{}),
+			tcID:    tcID,
+			tcSpan:  tcSpan,
 		}
 	}
+	var t0 time.Time
+	if sk != nil || pr != nil {
+		t0 = time.Now()
+	}
 	if err := cn.startBatch(calls); err != nil {
-		return c.readSubs(f, off, p, subs)
+		return c.readSubs(f, off, p, subs, pr)
 	}
 	rm := c.resMetrics()
 	var retry []stripe.Sub
@@ -1358,17 +1737,28 @@ func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub) erro
 		<-w.done
 		sub := subs[i]
 		reply, n, err := cn.finishCall(w)
+		var el time.Duration
+		if sk != nil || pr != nil {
+			el = time.Since(t0)
+		}
 		if err != nil {
 			if _, isRemote := err.(remoteError); isRemote {
+				pr.addFrag(addr, sub, el, err)
 				c.recordOutcome(b, rm, false, true)
 				if first == nil {
 					first = err
 				}
 			} else {
+				// Transport failure: the per-sub retry path records this
+				// sub's fragment timing, so don't double-count it here.
 				retry = append(retry, sub)
 			}
 			continue
 		}
+		if sk != nil {
+			sk.Observe(float64(el) / 1e6)
+		}
+		pr.addFrag(addr, sub, el, nil)
 		c.recordOutcome(b, rm, false, true)
 		dst := p[sub.FileOff-off : sub.FileOff-off+sub.Length]
 		if err := finishRead(reply, n, dst, sub.Length); err != nil && first == nil {
@@ -1378,7 +1768,7 @@ func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub) erro
 	if len(retry) > 0 {
 		c.dropDataConn(addr, cn)
 		c.recordOutcome(b, rm, false, false)
-		if err := c.readSubs(f, off, p, retry); err != nil && first == nil {
+		if err := c.readSubs(f, off, p, retry, pr); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -1395,19 +1785,26 @@ func (c *Client) ReadAt(f *File, off int64, p []byte) error {
 	if len(p) == 0 {
 		return nil
 	}
+	pr := c.startParent("ReadAt", "read")
+	err := c.readAt(f, off, p, pr)
+	c.finishParent(pr, off, int64(len(p)), err)
+	return err
+}
+
+func (c *Client) readAt(f *File, off int64, p []byte, pr *parentReq) error {
 	subs := c.subs(f, off, int64(len(p)))
 	if len(subs) == 1 {
-		return c.readSub(f, off, p, subs[0])
+		return c.readSub(f, off, p, subs[0], pr)
 	}
 	groups := groupByServer(subs, len(f.servers))
 	if len(groups) == 1 {
-		return c.readGroup(f, off, p, groups[0])
+		return c.readGroup(f, off, p, groups[0], pr)
 	}
 	errs := make(chan error, len(groups))
 	for _, g := range groups {
 		g := g
 		go func() {
-			errs <- c.readGroup(f, off, p, g)
+			errs <- c.readGroup(f, off, p, g, pr)
 		}()
 	}
 	var first error
@@ -1446,7 +1843,7 @@ func (c *Client) Flush(f *File) (int64, error) {
 			e := newEnc()
 			e.u64(id)
 			return e.b
-		}, nil)
+		}, nil, nil)
 		if err != nil {
 			return total, err
 		}

@@ -38,6 +38,9 @@ type DataServer struct {
 	noVec     bool
 	ioTimeout time.Duration
 	wm        *wireMetrics
+	tracer    *obs.XTracer
+	features  uint32       // feature bits advertised during hello
+	connSeq   atomic.Int64 // per-connection trace-scope numbering
 
 	// SSD-device failure state: when the fault plan schedules a device
 	// failure for this server (or FailSSD is called), the fragment log is
@@ -84,6 +87,15 @@ type ServerConfig struct {
 	// Obs, when set, receives wire-level metrics under
 	// "pfsnet.server.*".
 	Obs *obs.Registry
+	// Tracer, when set, records server-side spans (queue-wait, store,
+	// respond) under the trace context of requests that carry one on
+	// the wire. Tracing only activates on connections whose hello
+	// negotiated featTrace; a nil tracer costs one pointer test.
+	Tracer *obs.XTracer
+	// DisableTracing stops the server from advertising featTrace during
+	// hello negotiation — the interop knob modelling an older v2 peer
+	// that predates the trace extension.
+	DisableTracing bool
 	// IOTimeout, when positive, bounds each frame read and reply write
 	// on every connection so a stalled or half-open peer cannot pin a
 	// handler goroutine forever. 0 (the default) disables deadlines.
@@ -159,6 +171,13 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 	if maxProto <= 0 || maxProto > maxProtoVersion {
 		maxProto = maxProtoVersion
 	}
+	// Advertise featTrace unless explicitly disabled: stripping the
+	// trace context off flagged frames is harmless without a tracer,
+	// and always advertising keeps the negotiation matrix small.
+	var features uint32
+	if !cfg.DisableTracing {
+		features = featTrace
+	}
 	s := &DataServer{
 		ln:        cfg.FaultPlan.WrapListener(ln, cfg.FaultScope),
 		bridge:    cfg.Bridge,
@@ -168,6 +187,8 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 		noVec:     cfg.DisableVectored,
 		ioTimeout: cfg.IOTimeout,
 		wm:        newWireMetrics(cfg.Obs, "pfsnet.server."),
+		tracer:    cfg.Tracer,
+		features:  features,
 		plan:      cfg.FaultPlan,
 		table:     make(map[extKey]extVal),
 		quit:      make(chan struct{}),
@@ -305,12 +326,13 @@ func (s *DataServer) serveConn(conn net.Conn) {
 	}()
 	br := bufio.NewReaderSize(conn, connBufSize)
 	bw := bufio.NewWriterSize(conn, connBufSize)
-	ver, first, hasFirst, err := serverHandshake(br, bw, s.maxProto)
+	ver, feats, first, hasFirst, err := serverHandshake(br, bw, s.maxProto, s.features)
 	if err != nil {
 		return
 	}
 	if ver >= ProtoV2 {
-		s.servePipelined(conn, br, bw)
+		scope := fmt.Sprintf("conn%d", s.connSeq.Add(1))
+		s.servePipelined(conn, br, bw, feats, scope)
 		return
 	}
 	var firstp *frame
@@ -326,7 +348,7 @@ func (s *DataServer) serveConn(conn net.Conn) {
 // tagged replies back, flushing only when its queue runs dry — through
 // the vectored writer by default, so a burst of small acks and read
 // replies coalesces into one writev submission.
-func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.Writer) {
+func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, feats uint32, scope string) {
 	jobs := make(chan frame, s.workers*2)
 	resp := make(chan frame, s.workers*2)
 
@@ -335,9 +357,9 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	go func() {
 		defer writerWG.Done()
 		if s.noVec {
-			s.respondBuffered(conn, bw, resp)
+			s.respondBuffered(conn, bw, resp, scope)
 		} else {
-			s.respondVectored(conn, resp)
+			s.respondVectored(conn, resp, scope)
 		}
 	}()
 
@@ -348,9 +370,26 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 			defer workerWG.Done()
 			for fr := range jobs {
 				s.wm.observeQueueWait(fr.enq)
-				op, reply := s.dispatch(fr.op, fr.payload)
+				traced := s.tracer != nil && fr.traced && !fr.enq.IsZero()
+				var t0 time.Time
+				if traced {
+					t0 = time.Now()
+					s.tracer.Span(fr.tcID, s.tracer.NewID(), fr.tcSpan, "queue-wait", scope, fr.enq, t0.Sub(fr.enq))
+				}
+				op, reply := s.dispatch(fr.op, fr.body())
+				out := frame{tag: fr.tag, op: op, payload: reply}
+				if traced {
+					now := time.Now()
+					s.tracer.Span(fr.tcID, s.tracer.NewID(), fr.tcSpan, "store", scope, t0, now.Sub(t0))
+					// The reply frame reuses the trace fields so the
+					// response writer can close a "respond" span when the
+					// flush that carries this reply completes.
+					out.traced = true
+					out.tcID, out.tcSpan = fr.tcID, fr.tcSpan
+					out.enq = now
+				}
 				fr.release()
-				resp <- frame{tag: fr.tag, op: op, payload: reply}
+				resp <- out
 			}
 		}()
 	}
@@ -363,8 +402,21 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 		if err != nil {
 			break
 		}
+		if fr.tag&tagTraceFlag != 0 {
+			fr.tag &^= tagTraceFlag
+			if feats&featTrace == 0 || len(fr.payload) < traceCtxSize {
+				// A trace flag the hello never negotiated (or a context
+				// too short to exist) is a protocol violation, not a
+				// request — drop the connection.
+				fr.release()
+				break
+			}
+			fr.traced = true
+			fr.tcID = binary.BigEndian.Uint64(fr.payload[:8])
+			fr.tcSpan = binary.BigEndian.Uint64(fr.payload[8:16])
+		}
 		s.wm.onRx(len(fr.payload))
-		if s.wm != nil {
+		if s.wm != nil || (s.tracer != nil && fr.traced) {
 			fr.enq = time.Now()
 		}
 		jobs <- fr // bounded: backpressure falls back onto TCP
@@ -375,21 +427,45 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	writerWG.Wait()
 }
 
+// respCtx is the trace context a response writer holds between queueing
+// a traced reply and the flush that actually puts it on the wire.
+type respCtx struct {
+	tcID, tcSpan uint64
+	start        time.Time
+}
+
+// flushRespSpans closes one "respond" span per traced reply carried by
+// the flush that just completed.
+func (s *DataServer) flushRespSpans(pending []respCtx, scope string) []respCtx {
+	if len(pending) == 0 {
+		return pending
+	}
+	now := time.Now()
+	for _, rc := range pending {
+		s.tracer.Span(rc.tcID, s.tracer.NewID(), rc.tcSpan, "respond", scope, rc.start, now.Sub(rc.start))
+	}
+	return pending[:0]
+}
+
 // respondVectored streams tagged replies back through the vectored
 // writer: ownership of each reply payload transfers to the writer
 // (DESIGN §11), small acks pack into arena chunks, large read replies
 // ride as their own iovec, and the accumulated batch reaches the kernel
 // in one writev when the queue runs dry.
-func (s *DataServer) respondVectored(conn net.Conn, resp chan frame) {
+func (s *DataServer) respondVectored(conn net.Conn, resp chan frame, scope string) {
 	vw := newVecWriter(conn, s.wm)
 	defer vw.abandon()
 	broken := false
+	var pending []respCtx
 	for fr := range resp {
 		if broken {
 			putBuf(fr.payload)
 			continue
 		}
 		n := len(fr.payload)
+		if s.tracer != nil && fr.traced {
+			pending = append(pending, respCtx{fr.tcID, fr.tcSpan, fr.enq})
+		}
 		if vw.writeFrame(ProtoV2, fr.tag, fr.op, fr.payload) != nil {
 			broken = true
 			conn.Close() // unblock the demux reader promptly
@@ -403,19 +479,25 @@ func (s *DataServer) respondVectored(conn net.Conn, resp chan frame) {
 			if vw.flush() != nil {
 				broken = true
 				conn.Close()
+				continue
 			}
+			pending = s.flushRespSpans(pending, scope)
 		}
 	}
 }
 
 // respondBuffered is the legacy corked bufio response path
 // (DisableVectored).
-func (s *DataServer) respondBuffered(conn net.Conn, bw *bufio.Writer, resp chan frame) {
+func (s *DataServer) respondBuffered(conn net.Conn, bw *bufio.Writer, resp chan frame, scope string) {
 	broken := false
+	var pending []respCtx
 	for fr := range resp {
 		if !broken {
 			if s.ioTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+			}
+			if s.tracer != nil && fr.traced {
+				pending = append(pending, respCtx{fr.tcID, fr.tcSpan, fr.enq})
 			}
 			if writeFrame(bw, ProtoV2, fr.tag, fr.op, fr.payload) != nil {
 				broken = true
@@ -429,6 +511,8 @@ func (s *DataServer) respondBuffered(conn net.Conn, bw *bufio.Writer, resp chan 
 			if bw.Flush() != nil {
 				broken = true
 				conn.Close()
+			} else {
+				pending = s.flushRespSpans(pending, scope)
 			}
 		}
 	}

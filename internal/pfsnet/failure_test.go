@@ -341,7 +341,7 @@ func TestRemoteErrorNotRetried(t *testing.T) {
 		e.i64(0)
 		e.i64(-5)
 		return e.b
-	}, nil)
+	}, nil, nil)
 	if err == nil {
 		t.Fatal("bad read accepted")
 	}

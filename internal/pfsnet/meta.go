@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/stripe"
 )
 
@@ -19,6 +20,7 @@ type MetaServer struct {
 	unit      int64
 	servers   []string // data server addresses, in stripe order
 	ioTimeout time.Duration
+	wm        *wireMetrics
 
 	mu     sync.Mutex
 	files  map[string]fileMeta
@@ -46,6 +48,8 @@ type MetaConfig struct {
 	// connection faults; FaultScope names this server in the plan.
 	FaultPlan  *faults.Plan
 	FaultScope string
+	// Obs, when set, receives wire-level metrics under "pfsnet.meta.*".
+	Obs *obs.Registry
 }
 
 // NewMetaServer starts a metadata server on addr for a file system
@@ -72,6 +76,7 @@ func NewMetaServerConfig(addr string, unit int64, dataServers []string, cfg Meta
 		unit:      unit,
 		servers:   append([]string(nil), dataServers...),
 		ioTimeout: cfg.IOTimeout,
+		wm:        newWireMetrics(cfg.Obs, "pfsnet.meta."),
 		files:     make(map[string]fileMeta),
 		nextID:    1,
 		quit:      make(chan struct{}),
@@ -144,7 +149,10 @@ func (s *MetaServer) serveConn(conn net.Conn) {
 	// Metadata traffic is a handful of round trips per file, so the
 	// sequential loop serves both protocol versions; v2 peers still get
 	// tagged replies (in order, which v2 permits).
-	ver, first, hasFirst, err := serverHandshake(br, bw, maxProtoVersion)
+	// The meta server never negotiates featTrace (features = 0): clients
+	// therefore never flag metadata frames, and the sequential loop can
+	// stay ignorant of trace contexts.
+	ver, _, first, hasFirst, err := serverHandshake(br, bw, maxProtoVersion, 0)
 	if err != nil {
 		return
 	}
@@ -152,7 +160,7 @@ func (s *MetaServer) serveConn(conn net.Conn) {
 	if hasFirst {
 		firstp = &first
 	}
-	serveFrames(conn, br, bw, ver, firstp, nil, s.ioTimeout, s.dispatch)
+	serveFrames(conn, br, bw, ver, firstp, s.wm, s.ioTimeout, s.dispatch)
 }
 
 // dispatch executes one metadata request.

@@ -31,6 +31,15 @@
 // opError, which the client takes as "v1 peer" and falls back. A v1
 // client never sends opHello, so a v2 server simply keeps speaking v1 on
 // that connection.
+//
+// Feature negotiation rides the same hello: a client may append a u32
+// feature bitmask to the hello payload, and a feature-aware server
+// answers with a second u32 of the agreed set. Because frame decoders
+// ignore trailing payload bytes, peers that predate features simply
+// never see the word and the set degrades to empty — the same
+// transparent-fallback story as the version itself. The only feature
+// today is featTrace, the per-frame trace-context extension (see
+// DESIGN §12).
 package pfsnet
 
 import (
@@ -65,6 +74,32 @@ const (
 
 	maxProtoVersion = ProtoV2
 )
+
+// Feature bits, exchanged as an optional second u32 in the opHello
+// payload and its opOK reply. Decoders ignore trailing payload bytes,
+// so a features word appended by a new peer is invisible to an old
+// one: an old server replies with the bare agreed version (no
+// features), an old client never sends the word, and in both cases
+// the feature set degrades to empty. A feature is active on a
+// connection only when both sides advertised it.
+const (
+	// featTrace enables the trace-context frame extension: v2 request
+	// frames whose tag carries tagTraceFlag are prefixed with a
+	// traceCtxSize-byte {traceID u64, parentSpanID u64} context that the
+	// server strips before dispatch and attributes its spans to.
+	// Replies never carry a context and echo the tag with the flag
+	// cleared.
+	featTrace uint32 = 1 << 0
+)
+
+// tagTraceFlag marks a v2 request frame carrying a trace context.
+// Client tags are allocated sequentially from 1, so bit 63 is never an
+// ordinary tag bit.
+const tagTraceFlag = uint64(1) << 63
+
+// traceCtxSize is the encoded size of the per-frame trace context:
+// traceID u64 + parentSpanID u64.
+const traceCtxSize = 16
 
 // MaxMessage bounds a single message (sub-requests are at most a striping
 // unit plus headers, but trace replays may write larger spans through a
@@ -128,13 +163,32 @@ type frame struct {
 	tag     uint64
 	op      byte
 	payload []byte
-	enq     time.Time // set by servers when queue-wait metrics are on
+	enq     time.Time // set by servers when queue-wait metrics or tracing are on
+
+	// Trace context carried by a tagTraceFlag-marked request (and
+	// propagated onto the matching response frame so the respond span
+	// can be attributed). The context bytes stay inside payload — body
+	// strips them as a view — because putBuf only accepts buffers with
+	// their original pooled capacity.
+	traced bool
+	tcID   uint64
+	tcSpan uint64
 }
 
 // release returns the payload buffer to the pool.
 func (f *frame) release() {
 	putBuf(f.payload)
 	f.payload = nil
+}
+
+// body returns the request payload with any trace-context prefix
+// stripped. The result aliases f.payload; release the frame, not the
+// body.
+func (f *frame) body() []byte {
+	if f.traced {
+		return f.payload[traceCtxSize:]
+	}
+	return f.payload
 }
 
 // writeFrame frames and sends one message at the given protocol version.
@@ -161,6 +215,27 @@ func writeFrame(w io.Writer, ver int, tag uint64, op byte, payload []byte) error
 		hn = 5
 	}
 	if _, err := w.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// writeFrameCtx frames and sends one v2 request carrying a trace
+// context: the tag goes out with tagTraceFlag set and the payload is
+// preceded by the 16-byte {traceID, parentSpanID} context. Only valid
+// on connections that negotiated featTrace.
+func writeFrameCtx(w io.Writer, tag uint64, op byte, tcID, tcSpan uint64, payload []byte) error {
+	var hdr [13 + traceCtxSize]byte
+	if len(payload)+9+traceCtxSize > MaxMessage {
+		return ErrTooLarge
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+9+traceCtxSize))
+	binary.BigEndian.PutUint64(hdr[4:12], tag|tagTraceFlag)
+	hdr[12] = op
+	binary.BigEndian.PutUint64(hdr[13:21], tcID)
+	binary.BigEndian.PutUint64(hdr[21:29], tcSpan)
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -361,35 +436,52 @@ func replyError(payload []byte) error {
 // the frame is handed back for normal dispatch. When maxProto caps the
 // server at v1 the hello is likewise handed back, so the normal dispatch
 // path rejects the unknown opcode exactly as a legacy server would.
-func serverHandshake(br *bufio.Reader, bw *bufio.Writer, maxProto int) (ver int, first frame, hasFirst bool, err error) {
+//
+// features is the server's advertised feature set. Feature words are
+// only exchanged with clients that sent one: the reply to a bare
+// {maxProto} hello is a bare {agreed}, byte-identical to what an older
+// server would send, and the returned feats is then 0.
+func serverHandshake(br *bufio.Reader, bw *bufio.Writer, maxProto int, features uint32) (ver int, feats uint32, first frame, hasFirst bool, err error) {
 	fr, err := readFrame(br, ProtoV1)
 	if err != nil {
-		return 0, frame{}, false, err
+		return 0, 0, frame{}, false, err
 	}
 	if fr.op != opHello || maxProto < ProtoV2 {
-		return ProtoV1, fr, true, nil
+		return ProtoV1, 0, fr, true, nil
 	}
 	d := dec{b: fr.payload}
 	clientMax := int(d.u32())
+	var clientFeats uint32
+	hasFeats := len(fr.payload) >= 8
+	if hasFeats {
+		clientFeats = d.u32()
+	}
 	fr.release()
 	if d.err != nil {
-		return 0, frame{}, false, d.err
+		return 0, 0, frame{}, false, d.err
 	}
 	agreed := min(clientMax, maxProto)
 	if agreed < ProtoV1 {
 		agreed = ProtoV1
 	}
+	feats = clientFeats & features
+	if agreed < ProtoV2 {
+		feats = 0 // features are a v2 frame extension
+	}
 	e := newEnc()
 	e.u32(uint32(agreed))
+	if hasFeats {
+		e.u32(feats)
+	}
 	werr := writeFrame(bw, ProtoV1, 0, opOK, e.b)
 	putBuf(e.b)
 	if werr != nil {
-		return 0, frame{}, false, werr
+		return 0, 0, frame{}, false, werr
 	}
 	if err := bw.Flush(); err != nil {
-		return 0, frame{}, false, err
+		return 0, 0, frame{}, false, err
 	}
-	return agreed, frame{}, false, nil
+	return agreed, feats, frame{}, false, nil
 }
 
 // isTimeout reports whether err is a net-level deadline expiry.

@@ -103,16 +103,40 @@ func (w *vecWriter) writeFrame(ver int, tag uint64, op byte, payload []byte) err
 		hdr[4] = op
 		hn = 5
 	}
+	return w.enqueue(hdr[:hn], payload)
+}
+
+// writeFrameCtx queues one v2 request frame carrying a trace context:
+// tagTraceFlag set on the tag, {traceID, parentSpanID} written into
+// the arena right behind the header so the context always travels in
+// the same iovec as the header. Same ownership contract as writeFrame.
+func (w *vecWriter) writeFrameCtx(tag uint64, op byte, tcID, tcSpan uint64, payload []byte) error {
+	var hdr [13 + traceCtxSize]byte
+	if len(payload)+9+traceCtxSize > MaxMessage {
+		putBuf(payload)
+		return ErrTooLarge
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+9+traceCtxSize))
+	binary.BigEndian.PutUint64(hdr[4:12], tag|tagTraceFlag)
+	hdr[12] = op
+	binary.BigEndian.PutUint64(hdr[13:21], tcID)
+	binary.BigEndian.PutUint64(hdr[21:29], tcSpan)
+	return w.enqueue(hdr[:], payload)
+}
+
+// enqueue adds one header+payload pair to the batch, coalescing small
+// payloads into the arena and referencing large ones zero-copy.
+func (w *vecWriter) enqueue(hdr, payload []byte) error {
 	if len(payload) <= smallPayloadMax {
-		w.ensure(hn + len(payload))
+		w.ensure(len(hdr) + len(payload))
 		cur := w.chunks[len(w.chunks)-1]
-		w.used += copy(cur[w.used:], hdr[:hn])
+		w.used += copy(cur[w.used:], hdr)
 		w.used += copy(cur[w.used:], payload)
 		putBuf(payload)
 	} else {
-		w.ensure(hn)
+		w.ensure(len(hdr))
 		cur := w.chunks[len(w.chunks)-1]
-		w.used += copy(cur[w.used:], hdr[:hn])
+		w.used += copy(cur[w.used:], hdr)
 		w.closeSeg()
 		w.bufs = append(w.bufs, payload)
 		w.owned = append(w.owned, payload)

@@ -166,14 +166,19 @@ func (h *Hist) bucketRange(i int) (lo, hi float64) {
 	return lo, hi
 }
 
-// Merge folds other into h. Both histograms must share identical bounds.
-func (h *Hist) Merge(other *Hist) {
+// Merge folds other into h. Both histograms must share identical
+// bounds; merging histograms with different bucket layouts would
+// silently misattribute counts, so a mismatch is reported as an error
+// and h is left unchanged.
+func (h *Hist) Merge(other *Hist) error {
 	if len(h.bounds) != len(other.bounds) {
-		panic("stats: merging histograms with different bounds")
+		return fmt.Errorf("stats: merging histograms with different bounds (%d vs %d buckets)",
+			len(h.bounds), len(other.bounds))
 	}
 	for i := range h.bounds {
 		if h.bounds[i] != other.bounds[i] {
-			panic("stats: merging histograms with different bounds")
+			return fmt.Errorf("stats: merging histograms with different bounds (bucket %d: %g vs %g)",
+				i, h.bounds[i], other.bounds[i])
 		}
 	}
 	for i, c := range other.counts {
@@ -189,6 +194,20 @@ func (h *Hist) Merge(other *Hist) {
 			h.max = other.max
 		}
 	}
+	return nil
+}
+
+// Reset clears all observations while keeping the bucket layout, so a
+// histogram can be recycled (e.g. as a ring window) without
+// reallocating its counts slice.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.n = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
 }
 
 // Summary formats the histogram's headline statistics on one line:

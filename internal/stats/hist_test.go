@@ -98,7 +98,9 @@ func TestHistMerge(t *testing.T) {
 	for v := 51.0; v <= 100; v++ {
 		b.Observe(v)
 	}
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
 	if a.Count() != 100 {
 		t.Fatalf("merged Count = %d", a.Count())
 	}
@@ -110,13 +112,88 @@ func TestHistMerge(t *testing.T) {
 	}
 }
 
+// TestHistQuantileEdgeCases is the table form of the quantile contract:
+// empty histograms report zero, a single observation pins every
+// quantile, values beyond the last bound land in the overflow bucket
+// but stay clamped to the observed max, and merging incompatible
+// layouts is an error that leaves the receiver untouched.
+func TestHistQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *Hist
+		q, want float64
+	}{
+		{"empty p50", func() *Hist { return NewHist(ExpBounds(1, 100, 2)) }, 0.5, 0},
+		{"empty p99", func() *Hist { return NewHist(ExpBounds(1, 100, 2)) }, 0.99, 0},
+		{"single observation p50", func() *Hist {
+			h := NewHist(ExpBounds(1, 1000, 4))
+			h.Observe(7)
+			return h
+		}, 0.5, 7},
+		{"single observation p99", func() *Hist {
+			h := NewHist(ExpBounds(1, 1000, 4))
+			h.Observe(7)
+			return h
+		}, 0.99, 7},
+		{"all in overflow bucket p50", func() *Hist {
+			h := NewHist([]float64{1, 10})
+			for i := 0; i < 5; i++ {
+				h.Observe(1e4)
+			}
+			return h
+		}, 0.5, 1e4},
+		{"all in overflow bucket p100", func() *Hist {
+			h := NewHist([]float64{1, 10})
+			h.Observe(100)
+			h.Observe(200)
+			return h
+		}, 1, 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.build().Quantile(c.q); got != c.want {
+				t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+			}
+		})
+	}
+}
+
 func TestHistMergeBoundsMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Merge with different bounds should panic")
-		}
-	}()
-	NewHist([]float64{1, 2}).Merge(NewHist([]float64{1, 3}))
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"different lengths", []float64{1, 2, 3}, []float64{1, 2}},
+		{"same length, different values", []float64{1, 2}, []float64{1, 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, b := NewHist(c.a), NewHist(c.b)
+			a.Observe(1.5)
+			b.Observe(1.5)
+			if err := a.Merge(b); err == nil {
+				t.Fatal("Merge with mismatched bounds should return an error")
+			}
+			if a.Count() != 1 {
+				t.Errorf("failed Merge mutated receiver: Count = %d, want 1", a.Count())
+			}
+		})
+	}
+}
+
+func TestHistReset(t *testing.T) {
+	h := NewHist(ExpBounds(1, 100, 2))
+	for v := 1.0; v <= 10; v++ {
+		h.Observe(v)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("Reset histogram should report zeros: %s", h.Summary())
+	}
+	h.Observe(3)
+	if h.Count() != 1 || h.Quantile(0.5) != 3 {
+		t.Errorf("histogram unusable after Reset: %s", h.Summary())
+	}
 }
 
 func TestHistRender(t *testing.T) {
