@@ -49,6 +49,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
 		maxProto   = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
 		noVec      = flag.Bool("no-vectored", false, "respond through the corked bufio path instead of vectored (writev) submission")
+		noCancel   = flag.Bool("no-cancel", false, "do not advertise featCancel: hedging clients fall back to plain re-issue without loser cancellation")
 		stats      = flag.Duration("stats", 0, "print server statistics at this interval (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar metrics over HTTP at this address (/debug/vars)")
 		spanFile   = flag.String("span-file", "", "write this server's trace spans (JSON lines) to this file at shutdown; merge with 'ibridge-trace -merge'")
@@ -90,6 +91,7 @@ func main() {
 		Workers:         *workers,
 		MaxProto:        *maxProto,
 		DisableVectored: *noVec,
+		DisableCancel:   *noCancel,
 		Obs:             reg,
 		Tracer:          tracer,
 		IOTimeout:       *ioTimeout,

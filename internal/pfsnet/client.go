@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -111,20 +112,64 @@ type Client struct {
 	Seed uint64
 	// FaultPlan, when set before the first request, injects the plan's
 	// connection faults into every connection this client dials;
-	// FaultScope labels them (default "client").
+	// FaultScope labels them (default "client"). Hedge connections are
+	// labelled FaultScope+"-hedge", so a scoped latency clause can slow
+	// the primary path while the hedge path stays fast — the
+	// deterministic straggler for the A/B experiments.
 	FaultPlan  *faults.Plan
 	FaultScope string
+
+	// Hedge enables straggler-aware hedged reads (set before the first
+	// request): each read sub-request on a pipelined connection arms a
+	// timer at the (server, read) sketch's HedgeQuantile; if the primary
+	// has not answered by then, the read is re-issued on a separate
+	// hedge connection (opReadDirect when the server negotiated
+	// featCancel, plain opRead otherwise), the first reply wins, and the
+	// loser is abandoned and cancelled server-side. Writes never hedge —
+	// only reads are idempotent under duplicated execution order.
+	// Disabled, the read path is bit-identical to the unhedged client.
+	Hedge bool
+	// HedgeQuantile is the sketch quantile the hedge timer fires at
+	// (default 0.95). The delay is clamped to
+	// [HedgeDelayFloor, HedgeDelayCap].
+	HedgeQuantile float64
+	// HedgeDelay, when positive, fixes the hedge timer outright,
+	// bypassing the sketch — the knob that makes hedge timing
+	// deterministic in tests and chaos runs.
+	HedgeDelay time.Duration
+	// HedgeDelayFloor/HedgeDelayCap bound the sketch-derived hedge delay
+	// (defaults 2ms and 1s). A cold sketch falls back to the server's
+	// T_i load hint scaled conservatively, or to the cap.
+	HedgeDelayFloor time.Duration
+	HedgeDelayCap   time.Duration
+	// HedgeBudget caps hedges in flight across the whole client
+	// (default 16) so a cluster-wide slowdown cannot double offered
+	// load: with no token available the read falls open to a plain
+	// unhedged wait and hedges_suppressed counts it. -1 removes the cap.
+	HedgeBudget int
 
 	attempts  atomic.Uint64 // retry-jitter sequence
 	openCount atomic.Int64  // breakers currently open, for the gauge
 
+	hedgeOnce sync.Once    // arms the token bucket from HedgeBudget
+	hedgeTok  atomic.Int64 // hedge tokens currently available
+
 	mu       sync.Mutex
 	wm       *wireMetrics
 	rm       *resilienceMetrics
+	hm       *hedgeMetrics
 	meta     *conn
 	data     map[string][]*conn
+	hdata    map[string]*conn // hedge connections, one per server
 	next     map[string]int
 	breakers map[string]*breaker
+
+	// hintMu guards the T_i load-hint vector (server address → expected
+	// service time, milliseconds) the metadata server broadcasts on
+	// Create/Open replies; cold sketches fall back to it for issue
+	// ordering and hedge delays.
+	hintMu sync.Mutex
+	hints  map[string]float64
 
 	// latMu guards the lazily created latency sketches; slowMu
 	// serializes SlowLog writes so concurrent slow events cannot
@@ -225,6 +270,11 @@ func (c *Client) dialOpts(wm *wireMetrics) dialOpts {
 	var features uint32
 	if c.Tracer != nil {
 		features = featTrace
+	}
+	if c.Hedge {
+		// featCancel only matters to a hedging client; leaving it out of
+		// the hello otherwise keeps the unhedged wire byte-identical.
+		features |= featCancel
 	}
 	return dialOpts{
 		maxProto:    c.MaxProto,
@@ -827,6 +877,20 @@ func (c *Client) Close() error {
 		}
 		delete(c.data, addr)
 	}
+	// Close hedge conns in a stable order so a multi-error Close reports
+	// deterministically.
+	haddrs := make([]string, 0, len(c.hdata))
+	for addr := range c.hdata {
+		//lint:allow detmaprange sorted below before use
+		haddrs = append(haddrs, addr)
+	}
+	sort.Strings(haddrs)
+	for _, addr := range haddrs {
+		if err := c.hdata[addr].close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.hdata, addr)
+	}
 	return first
 }
 
@@ -908,7 +972,8 @@ func opClass(op byte) string {
 
 // latArmed reports whether per-server latency sketches are on. Reads
 // fields set before the first request, so it is race-free unlocked.
-func (c *Client) latArmed() bool { return c.TrackLatency || c.Obs != nil }
+// Hedging arms them implicitly: the hedge timer is a sketch quantile.
+func (c *Client) latArmed() bool { return c.TrackLatency || c.Obs != nil || c.Hedge }
 
 // sketchFor returns the windowed latency sketch for (addr, class),
 // creating it — and, when a registry is attached, its three quantile
@@ -1027,8 +1092,25 @@ type parentReq struct {
 	span  uint64
 	start time.Time
 
+	hedgesFired atomic.Int64
+	hedgesWon   atomic.Int64
+
 	mu    sync.Mutex
 	frags []FragTiming
+}
+
+// noteHedge records a hedge fired under this parent request (won=false
+// at issue time, won=true when the hedge reply beats the primary) for
+// the slow-log wide event.
+func (pr *parentReq) noteHedge(won bool) {
+	if pr == nil {
+		return
+	}
+	if won {
+		pr.hedgesWon.Add(1)
+	} else {
+		pr.hedgesFired.Add(1)
+	}
 }
 
 func (pr *parentReq) addFrag(server string, sub stripe.Sub, d time.Duration, err error) {
@@ -1060,15 +1142,19 @@ func (c *Client) startParent(op, class string) *parentReq {
 
 // slowEvent is the JSON shape of one slow-request wide event.
 type slowEvent struct {
-	TS    string       `json:"ts"`
-	Op    string       `json:"op"`
-	Trace string       `json:"trace,omitempty"`
-	Off   int64        `json:"off"`
-	Len   int64        `json:"len"`
-	MS    float64      `json:"ms"`
-	P99MS float64      `json:"p99_ms"`
-	Err   string       `json:"err,omitempty"`
-	Frags []FragTiming `json:"frags,omitempty"`
+	TS    string  `json:"ts"`
+	Op    string  `json:"op"`
+	Trace string  `json:"trace,omitempty"`
+	Off   int64   `json:"off"`
+	Len   int64   `json:"len"`
+	MS    float64 `json:"ms"`
+	P99MS float64 `json:"p99_ms"`
+	Err   string  `json:"err,omitempty"`
+	// Hedge counters for this request: fired counts every hedge issued,
+	// won those whose reply beat the primary.
+	HedgesFired int64        `json:"hedges_fired,omitempty"`
+	HedgesWon   int64        `json:"hedges_won,omitempty"`
+	Frags       []FragTiming `json:"frags,omitempty"`
 }
 
 // finishParent closes the per-request context: it emits the client
@@ -1106,6 +1192,8 @@ func (c *Client) finishParent(pr *parentReq, off, length int64, err error) {
 		TS: time.Now().UTC().Format(time.RFC3339Nano),
 		Op: pr.op, Off: off, Len: length,
 		MS: ms, P99MS: p99, Frags: frags,
+		HedgesFired: pr.hedgesFired.Load(),
+		HedgesWon:   pr.hedgesWon.Load(),
 	}
 	if pr.trace != 0 {
 		ev.Trace = fmt.Sprintf("%016x", pr.trace)
@@ -1284,7 +1372,13 @@ func (c *Client) tryDataCall(addr string, op byte, encode func() []byte, dst []b
 	if pr != nil {
 		tcID, tcSpan = pr.trace, pr.span
 	}
-	reply, n, err := cn.exchange(op, encode(), dst, tcID, tcSpan)
+	var reply []byte
+	var n int
+	if c.hedgeEligible(op, cn) {
+		reply, n, err = c.hedgedExchange(addr, cn, encode, dst, tcID, tcSpan, pr)
+	} else {
+		reply, n, err = cn.exchange(op, encode(), dst, tcID, tcSpan)
+	}
 	if err != nil {
 		if _, isRemote := err.(remoteError); !isRemote {
 			c.dropDataConn(addr, cn)
@@ -1341,6 +1435,24 @@ func (c *Client) fileFromReply(name string, payload []byte) (*File, error) {
 	}
 	if d.err != nil {
 		return nil, d.err
+	}
+	// Optional trailing T_i load-hint vector (count u32 + float64 bits
+	// per server, stripe order). Decoders ignore trailing payload bytes
+	// by protocol contract, so servers that predate hints send nothing
+	// and this block is skipped; a malformed vector is dropped rather
+	// than failing the open.
+	if len(d.b) >= 4 {
+		hd := dec{b: d.b}
+		hn := hd.u32()
+		if int(hn) == len(f.servers) {
+			hints := make(map[string]float64, hn)
+			for i := uint32(0); i < hn; i++ {
+				hints[f.servers[i]] = math.Float64frombits(hd.u64())
+			}
+			if hd.err == nil {
+				c.SetLoadHints(hints)
+			}
+		}
 	}
 	f.layout = stripe.Layout{Unit: unit, Servers: len(f.servers)}
 	return f, f.layout.Validate()
@@ -1610,6 +1722,7 @@ func (c *Client) writeAt(f *File, off int64, p []byte, pr *parentReq) error {
 	if len(groups) == 1 {
 		return c.writeGroup(f, off, p, groups[0], random, pr)
 	}
+	c.orderGroups(f, groups, "write")
 	errs := make(chan error, len(groups))
 	for _, g := range groups {
 		g := g
@@ -1731,11 +1844,16 @@ func (c *Client) readGroup(f *File, off int64, p []byte, subs []stripe.Sub, pr *
 		return c.readSubs(f, off, p, subs, pr)
 	}
 	rm := c.resMetrics()
+	hedged := c.Hedge && cn.ver >= ProtoV2
 	var retry []stripe.Sub
 	var first error
 	for i, w := range calls {
-		<-w.done
 		sub := subs[i]
+		if hedged {
+			c.awaitHedged(cn, w, addr, func() []byte { return encodeRead(f, sub) }, pr)
+		} else {
+			<-w.done
+		}
 		reply, n, err := cn.finishCall(w)
 		var el time.Duration
 		if sk != nil || pr != nil {
@@ -1800,6 +1918,7 @@ func (c *Client) readAt(f *File, off int64, p []byte, pr *parentReq) error {
 	if len(groups) == 1 {
 		return c.readGroup(f, off, p, groups[0], pr)
 	}
+	c.orderGroups(f, groups, "read")
 	errs := make(chan error, len(groups))
 	for _, g := range groups {
 		g := g

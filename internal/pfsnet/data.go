@@ -96,6 +96,11 @@ type ServerConfig struct {
 	// hello negotiation — the interop knob modelling an older v2 peer
 	// that predates the trace extension.
 	DisableTracing bool
+	// DisableCancel stops the server from advertising featCancel — the
+	// interop knob modelling an older v2 peer that predates the
+	// hedged-read cancellation extension. Hedging clients degrade to
+	// plain re-issue without cancellation against such a peer.
+	DisableCancel bool
 	// IOTimeout, when positive, bounds each frame read and reply write
 	// on every connection so a stalled or half-open peer cannot pin a
 	// handler goroutine forever. 0 (the default) disables deadlines.
@@ -116,6 +121,14 @@ type DataStats struct {
 	Flushes            int64
 	FlushedBytes       int64
 	ReadBytes, WrBytes int64
+	// CancelsReceived counts opCancel frames the demux accepted;
+	// CancelsHonored counts queued requests dropped before dispatch
+	// because an opCancel for their tag arrived first (the difference is
+	// cancels that lost the race with their own request); DirectReads
+	// counts opReadDirect requests (hedge re-issues).
+	CancelsReceived int64
+	CancelsHonored  int64
+	DirectReads     int64
 }
 
 // dataCounters is the lock-free mirror of DataStats: handlers running in
@@ -128,6 +141,9 @@ type dataCounters struct {
 	flushes            atomic.Int64
 	flushedBytes       atomic.Int64
 	readBytes, wrBytes atomic.Int64
+	cancelsReceived    atomic.Int64
+	cancelsHonored     atomic.Int64
+	directReads        atomic.Int64
 }
 
 type extKey struct {
@@ -178,6 +194,12 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 	if !cfg.DisableTracing {
 		features = featTrace
 	}
+	// featCancel is advertised by default for the same reason: dropping
+	// cancelled work is harmless, and a client that never hedges simply
+	// never sends opCancel.
+	if !cfg.DisableCancel {
+		features |= featCancel
+	}
 	s := &DataServer{
 		ln:        cfg.FaultPlan.WrapListener(ln, cfg.FaultScope),
 		bridge:    cfg.Bridge,
@@ -208,15 +230,18 @@ func (s *DataServer) Addr() string { return s.ln.Addr().String() }
 // Stats returns a copy of the server statistics.
 func (s *DataServer) Stats() DataStats {
 	return DataStats{
-		Reads:          s.ctr.reads.Load(),
-		Writes:         s.ctr.writes.Load(),
-		FragmentWrites: s.ctr.fragmentWrites.Load(),
-		FragmentReads:  s.ctr.fragmentReads.Load(),
-		LogBytes:       s.ctr.logBytes.Load(),
-		Flushes:        s.ctr.flushes.Load(),
-		FlushedBytes:   s.ctr.flushedBytes.Load(),
-		ReadBytes:      s.ctr.readBytes.Load(),
-		WrBytes:        s.ctr.wrBytes.Load(),
+		Reads:           s.ctr.reads.Load(),
+		Writes:          s.ctr.writes.Load(),
+		FragmentWrites:  s.ctr.fragmentWrites.Load(),
+		FragmentReads:   s.ctr.fragmentReads.Load(),
+		LogBytes:        s.ctr.logBytes.Load(),
+		Flushes:         s.ctr.flushes.Load(),
+		FlushedBytes:    s.ctr.flushedBytes.Load(),
+		ReadBytes:       s.ctr.readBytes.Load(),
+		WrBytes:         s.ctr.wrBytes.Load(),
+		CancelsReceived: s.ctr.cancelsReceived.Load(),
+		CancelsHonored:  s.ctr.cancelsHonored.Load(),
+		DirectReads:     s.ctr.directReads.Load(),
 	}
 }
 
@@ -352,6 +377,17 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 	jobs := make(chan frame, s.workers*2)
 	resp := make(chan frame, s.workers*2)
 
+	// Cancellation set (featCancel): the demux intercepts opCancel frames
+	// and records the target tags here; workers consult it right before
+	// dispatch and drop cancelled work without a reply (safe because a
+	// client only cancels tags it has already abandoned). Frame order on
+	// the wire guarantees the target request was demuxed — and is queued
+	// or done — before its cancel arrives.
+	var cancels *cancelSet
+	if feats&featCancel != 0 {
+		cancels = &cancelSet{tags: make(map[uint64]struct{})}
+	}
+
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
@@ -369,6 +405,14 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 		go func() {
 			defer workerWG.Done()
 			for fr := range jobs {
+				if cancels != nil && cancels.take(fr.tag) {
+					// Cancelled while queued: drop without executing or
+					// replying — the client abandoned this tag before it
+					// sent the cancel.
+					s.ctr.cancelsHonored.Add(1)
+					fr.release()
+					continue
+				}
 				s.wm.observeQueueWait(fr.enq)
 				traced := s.tracer != nil && fr.traced && !fr.enq.IsZero()
 				var t0 time.Time
@@ -416,6 +460,20 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 			fr.tcSpan = binary.BigEndian.Uint64(fr.payload[8:16])
 		}
 		s.wm.onRx(len(fr.payload))
+		if fr.op == opCancel {
+			// Fire-and-forget by contract: never enters the worker pool,
+			// never generates a reply. Ignored when featCancel was not
+			// negotiated — a stray cancel cannot reference queued work.
+			if cancels != nil {
+				d := dec{b: fr.body()}
+				if target := d.u64(); d.err == nil {
+					s.ctr.cancelsReceived.Add(1)
+					cancels.add(target)
+				}
+			}
+			fr.release()
+			continue
+		}
 		if s.wm != nil || (s.tracer != nil && fr.traced) {
 			fr.enq = time.Now()
 		}
@@ -528,6 +586,8 @@ func (s *DataServer) dispatch(op byte, payload []byte) (byte, []byte) {
 		reply, err = s.handleWrite(payload)
 	case opRead:
 		reply, err = s.handleRead(payload)
+	case opReadDirect:
+		reply, err = s.handleReadDirect(payload)
 	case opStat:
 		reply, err = s.handleStat(payload)
 	case opFlush:
@@ -640,6 +700,51 @@ func (s *DataServer) invalidateLocked(file uint64, off, n int64) error {
 		delete(s.table, h.k)
 	}
 	return nil
+}
+
+// cancelSet is the per-connection set of cancelled request tags
+// (featCancel). The demux goroutine adds, workers take; the map is
+// bounded because honored cancels delete their entry and the set is
+// cleared wholesale past cancelSetMax — by then the targets have long
+// left the worker queue, so stale entries only waste memory. Tag reuse
+// is impossible within a connection (tags are a monotonic u64).
+type cancelSet struct {
+	mu   sync.Mutex
+	tags map[uint64]struct{}
+}
+
+// cancelSetMax bounds a connection's cancelled-tag set; see cancelSet.
+const cancelSetMax = 1024
+
+func (cs *cancelSet) add(tag uint64) {
+	cs.mu.Lock()
+	if len(cs.tags) >= cancelSetMax {
+		clear(cs.tags)
+	}
+	cs.tags[tag] = struct{}{}
+	cs.mu.Unlock()
+}
+
+// take reports whether tag was cancelled, consuming the entry.
+func (cs *cancelSet) take(tag uint64) bool {
+	cs.mu.Lock()
+	_, ok := cs.tags[tag]
+	if ok {
+		delete(cs.tags, tag)
+	}
+	cs.mu.Unlock()
+	return ok
+}
+
+// handleReadDirect is opRead with the hedge routing hint: a re-issued
+// read racing a cancelled (or straggling) primary. Semantically
+// identical to a plain read — the fragment-log overlay still applies,
+// so hedged reads return exactly the bytes the primary would have.
+// The hint only feeds the direct-read counter today; a future elastic
+// layer can use it to prefer a replica or the HDD path.
+func (s *DataServer) handleReadDirect(payload []byte) ([]byte, error) {
+	s.ctr.directReads.Add(1)
+	return s.handleRead(payload)
 }
 
 // handleRead payload: file u64, off i64, length i64.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"sync"
 	"time"
@@ -25,6 +26,11 @@ type MetaServer struct {
 	mu     sync.Mutex
 	files  map[string]fileMeta
 	nextID uint64
+	// loadHints is the T_i broadcast vector (expected service time per
+	// data server, milliseconds, stripe order). When set, Create/Open
+	// replies carry it as trailing payload bytes old clients ignore;
+	// hedging clients consume it for cold-start issue ordering.
+	loadHints []float64
 
 	wg        sync.WaitGroup
 	quit      chan struct{}
@@ -182,7 +188,25 @@ func (s *MetaServer) dispatch(op byte, payload []byte) (byte, []byte) {
 	return opOK, reply
 }
 
-// fileReplyLocked encodes id, size, unit, and the data server list.
+// SetLoadHints installs the T_i broadcast vector: one expected service
+// time (milliseconds) per data server, in stripe order. A vector whose
+// length does not match the server list is rejected; nil clears the
+// broadcast. Subsequent Create/Open replies carry it to clients.
+func (s *MetaServer) SetLoadHints(hints []float64) error {
+	if hints != nil && len(hints) != len(s.servers) {
+		return fmt.Errorf("pfsnet meta: %d load hints for %d servers", len(hints), len(s.servers))
+	}
+	cp := append([]float64(nil), hints...)
+	s.mu.Lock()
+	s.loadHints = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// fileReplyLocked encodes id, size, unit, and the data server list,
+// plus — when a T_i broadcast is installed — the trailing load-hint
+// vector (count u32, float64 bits per server). Decoders ignore trailing
+// payload bytes, so pre-hint clients parse the reply unchanged.
 func (s *MetaServer) fileReplyLocked(m fileMeta) []byte {
 	e := newEnc()
 	e.u64(m.id)
@@ -191,6 +215,12 @@ func (s *MetaServer) fileReplyLocked(m fileMeta) []byte {
 	e.u32(uint32(len(s.servers)))
 	for _, srv := range s.servers {
 		e.str(srv)
+	}
+	if len(s.loadHints) > 0 {
+		e.u32(uint32(len(s.loadHints)))
+		for _, h := range s.loadHints {
+			e.u64(math.Float64bits(h))
+		}
 	}
 	return e.b
 }

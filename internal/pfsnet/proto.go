@@ -65,6 +65,21 @@ const (
 	opOK
 	opError
 	opHello
+	// opCancel asks a v2 data server to drop a queued request (payload:
+	// target tag u64). Fire-and-forget: it never receives a reply, and a
+	// client only sends it for a tag it has already abandoned, so the
+	// server honouring it (by never replying to the target) is
+	// indistinguishable from the reply losing the race. Only valid on
+	// connections that negotiated featCancel.
+	opCancel
+	// opReadDirect is opRead with a routing hint: the requester is a
+	// hedge re-issue and the server should prefer its direct (store)
+	// path over any queue-optimised handling. Semantically identical to
+	// opRead — the fragment-log overlay still applies, because hedged
+	// reads must return the same bytes as the original. Only sent on
+	// connections that negotiated featCancel (which implies a server new
+	// enough to know the opcode).
+	opReadDirect
 )
 
 // Wire protocol versions.
@@ -90,6 +105,16 @@ const (
 	// Replies never carry a context and echo the tag with the flag
 	// cleared.
 	featTrace uint32 = 1 << 0
+
+	// featCancel enables the hedged-read wire extension: the opCancel
+	// fire-and-forget frame (the server drops the named queued request
+	// without replying) and the opReadDirect routing hint. Hedging
+	// clients advertise it; servers accept it unless configured as
+	// legacy peers (ServerConfig.DisableCancel). Against a peer that
+	// did not negotiate it the client degrades to plain re-issued
+	// opRead hedges with no cancellation, and against v1 peers to no
+	// hedging at all.
+	featCancel uint32 = 1 << 1
 )
 
 // tagTraceFlag marks a v2 request frame carrying a trace context.
