@@ -1,14 +1,19 @@
 // ibridge-vet is the repo's invariant multichecker: it runs the custom
 // static analyzers in internal/analyzers (detclock, detmaprange,
-// obsnil, lockio) over the module and exits non-zero on findings.
+// obsnil, lockio, bufown, atomicmix, lockorder, gospawn, featgate)
+// over the module and exits non-zero on findings.
 //
 // Usage:
 //
-//	ibridge-vet [-run detclock,lockio] [patterns...]
+//	ibridge-vet [-run detclock,lockio] [-json] [patterns...]
 //
 // Patterns default to ./... and are resolved against the enclosing
 // module root. Findings can be suppressed site-by-site with a
-// documented //lint:allow <analyzer> <reason> comment.
+// documented //lint:allow <analyzer> <reason> comment; a directive
+// that suppresses nothing is itself reported as stale. -json emits the
+// findings as a JSON array ({file, line, col, analyzer, message}) for
+// tooling; the default text form (file:line:col: [analyzer] message)
+// is what the CI problem matcher annotates PR diffs with.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 func main() {
 	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +41,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ibridge-vet:", err)
 		os.Exit(2)
 	}
-	n, err := analyzers.Vet(".", flag.Args(), as, os.Stdout)
+	vet := analyzers.Vet
+	if *asJSON {
+		vet = analyzers.VetJSON
+	}
+	n, err := vet(".", flag.Args(), as, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibridge-vet:", err)
 		os.Exit(2)

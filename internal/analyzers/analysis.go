@@ -2,8 +2,11 @@
 // analyzers that mechanically enforce contracts the test suite cannot
 // see — deterministic simulation time (detclock), map-iteration-order
 // hygiene (detmaprange), the observability nil-sink contract (obsnil),
-// and the no-I/O-under-lock discipline of the concurrent pfsnet server
-// (lockio).
+// the no-I/O-under-lock discipline of the concurrent pfsnet server
+// (lockio), pooled-buffer ownership (bufown), atomic/plain access
+// mixing (atomicmix), the interprocedural lock-acquisition order
+// (lockorder), goroutine shutdown paths (gospawn), and the
+// negotiated-feature gating of protocol ops (featgate).
 //
 // The package deliberately mirrors the shapes of
 // golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so the
@@ -19,7 +22,9 @@
 //
 // The reason is mandatory — a directive without one is itself reported
 // — so every suppression in the tree documents why the invariant is
-// intentionally waived at that site.
+// intentionally waived at that site. A directive that suppresses
+// nothing (for an analyzer in the run set) is reported as stale, so
+// waivers are removed when the code they excused goes away.
 package analyzers
 
 import (
@@ -72,6 +77,7 @@ type Diagnostic struct {
 
 // allowDirective is one parsed //lint:allow comment.
 type allowDirective struct {
+	pos      token.Pos
 	file     string
 	line     int
 	analyzer string
@@ -105,6 +111,7 @@ func collectDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)
 			}
 			pos := fset.Position(c.Pos())
 			ds = append(ds, allowDirective{
+				pos:      c.Pos(),
 				file:     pos.Filename,
 				line:     pos.Line,
 				analyzer: fields[0],
@@ -117,8 +124,20 @@ func collectDirectives(fset *token.FileSet, f *ast.File, report func(Diagnostic)
 
 // RunAnalyzers applies every analyzer in as to every package in pkgs
 // and returns the surviving (unsuppressed) diagnostics in stable
-// position order.
+// position order. A //lint:allow directive that names an analyzer in
+// the run set but suppresses nothing is itself reported as stale, so
+// waivers cannot outlive the finding they were written for; directives
+// naming an analyzer the suite has never heard of are reported
+// unconditionally.
 func RunAnalyzers(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range as {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		// Directives are per-file but suppress findings from any
@@ -144,6 +163,26 @@ func RunAnalyzers(as []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				if !suppressed(&directives, d, pkg.Fset) {
 					out = append(out, d)
 				}
+			}
+		}
+		for i := range directives {
+			dir := &directives[i]
+			if dir.used {
+				continue
+			}
+			switch {
+			case !known[dir.analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					Pos:      dir.pos,
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", dir.analyzer),
+				})
+			case ran[dir.analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: "lint",
+					Pos:      dir.pos,
+					Message:  fmt.Sprintf("stale //lint:allow %s directive: it suppresses nothing — remove it or restore the invariant it waived", dir.analyzer),
+				})
 			}
 		}
 	}

@@ -2,6 +2,8 @@ package analyzers_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -79,6 +81,216 @@ func TestBufOwn(t *testing.T) {
 	t.Run("neg", func(t *testing.T) {
 		analysistest.Run(t, analyzers.BufOwn, "testdata/src/bufown/neg", "repro/internal/fixture/bufownfix")
 	})
+}
+
+// TestAtomicMix exercises the atomic/plain mixing check: promoted and
+// explicit spellings of an atomically-accessed field, package-level
+// variables, same-named fields of distinct structs, composite-literal
+// initialization, atomic wrapper types, and a documented waiver.
+func TestAtomicMix(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.AtomicMix, "testdata/src/atomicmix/pos", "repro/internal/fixture/atomfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.AtomicMix, "testdata/src/atomicmix/neg", "repro/internal/fixture/atomfix")
+	})
+}
+
+// TestLockOrder exercises the lock-acquisition-order check: a direct
+// two-mutex cycle, an interprocedural cycle through a helper, a
+// self-deadlock, and the negative shapes (consistent order,
+// release-before-next, block-scoped deferred unlocks, goroutine
+// boundaries, fully-releasing helpers).
+func TestLockOrder(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.LockOrder, "testdata/src/lockorder/pos", "repro/internal/fixture/lockordfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.LockOrder, "testdata/src/lockorder/neg", "repro/internal/fixture/lockordfix")
+	})
+}
+
+// TestGoSpawn exercises the goroutine shutdown-path check: unkillable
+// spawns and opaque callees versus every accepted evidence form
+// (select, channel ops, WaitGroup joins, context, close hooks through
+// callee chains and deferred Closes), plus path scoping — a package
+// outside internal/{pfsnet,faults,runner} is not checked.
+func TestGoSpawn(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.GoSpawn, "testdata/src/gospawn/pos", "repro/internal/pfsnet")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.GoSpawn, "testdata/src/gospawn/neg", "repro/internal/pfsnet")
+	})
+	t.Run("outside-enforced-surface", func(t *testing.T) {
+		analysistest.Run(t, analyzers.GoSpawn, "testdata/src/gospawn/outside", "repro/internal/fixture/spawnfix")
+	})
+}
+
+// TestFeatGate exercises the negotiated-feature gating check: ungated
+// encodes, wrong-bit gates, ungated dispatch/comparison forms, and the
+// licensed shapes (if-body gates, ||-early-exits, && same-expression
+// gates, helper predicates, decode-side masks/strips, waivers).
+func TestFeatGate(t *testing.T) {
+	t.Run("pos", func(t *testing.T) {
+		analysistest.Run(t, analyzers.FeatGate, "testdata/src/featgate/pos", "repro/internal/fixture/featfix")
+	})
+	t.Run("neg", func(t *testing.T) {
+		analysistest.Run(t, analyzers.FeatGate, "testdata/src/featgate/neg", "repro/internal/fixture/featfix")
+	})
+}
+
+// TestStaleWaiver: a //lint:allow that suppresses nothing is reported
+// as stale, one naming an unknown analyzer is reported
+// unconditionally, and a used one stays silent.
+func TestStaleWaiver(t *testing.T) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs("testdata/src/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "repro/internal/hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analyzers.RunAnalyzers([]*analyzers.Analyzer{analyzers.DetClock}, []*analyzers.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (stale waiver + unknown analyzer), got %d: %+v", len(diags), diags)
+	}
+	var sawStale, sawUnknown bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "stale //lint:allow detclock") {
+			sawStale = true
+		}
+		if strings.Contains(d.Message, `unknown analyzer "detclok"`) {
+			sawUnknown = true
+		}
+	}
+	if !sawStale || !sawUnknown {
+		t.Fatalf("want both the stale-waiver and unknown-analyzer reports, got %+v", diags)
+	}
+}
+
+// TestStaleWaiverScopedToRunSet: a directive for an analyzer that is
+// known but NOT in the run set is neither stale nor unknown — single-
+// analyzer runs must not flag the other analyzers' waivers.
+func TestStaleWaiverScopedToRunSet(t *testing.T) {
+	loader, err := analyzers.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs("testdata/src/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "repro/internal/hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lockio never fires here and the detclock directives are out of its
+	// run set; only the unknown-analyzer report must survive.
+	diags, err := analyzers.RunAnalyzers([]*analyzers.Analyzer{analyzers.LockIO}, []*analyzers.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "detclok"`) {
+		t.Fatalf("want only the unknown-analyzer report, got %+v", diags)
+	}
+}
+
+// TestVetJSON: the machine-readable output is a JSON array of findings
+// whose fields match the plain-text format field for field.
+func TestVetJSON(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := analyzers.VetJSON(".", []string{"./internal/analyzers/testdata/src/featgate/pos"}, []*analyzers.Analyzer{analyzers.FeatGate}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("want findings from the featgate pos fixture, got none")
+	}
+	var fs []analyzers.Finding
+	if err := json.Unmarshal(buf.Bytes(), &fs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(fs) != n {
+		t.Fatalf("returned count %d != decoded findings %d", n, len(fs))
+	}
+	for _, f := range fs {
+		if f.Analyzer != "featgate" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+		if filepath.IsAbs(f.File) || strings.Contains(f.File, `\`) {
+			t.Fatalf("File must be module-root-relative with forward slashes, got %q", f.File)
+		}
+	}
+	// A clean run must still emit a JSON array, not empty output.
+	buf.Reset()
+	n, err = analyzers.VetJSON(".", []string{"./internal/analyzers/testdata/src/featgate/neg"}, []*analyzers.Analyzer{analyzers.FeatGate}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("neg fixture should be clean, got %d findings:\n%s", n, buf.String())
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fs); err != nil || len(fs) != 0 {
+		t.Fatalf("clean run must emit an empty JSON array, got %q (err %v)", buf.String(), err)
+	}
+}
+
+// TestDeterministicOutput: lockorder and gospawn render byte-identical
+// diagnostics across two independent loads — the graph walks and
+// report ordering must not leak map iteration order.
+func TestDeterministicOutput(t *testing.T) {
+	render := func(a *analyzers.Analyzer, dir, asPath string) string {
+		loader, err := analyzers.NewLoader(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(abs, asPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analyzers.RunAnalyzers([]*analyzers.Analyzer{a}, []*analyzers.Package{pkg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			fmt.Fprintf(&sb, "%s:%d:%d: [%s] %s\n", filepath.Base(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
+		return sb.String()
+	}
+	cases := []struct {
+		a      *analyzers.Analyzer
+		dir    string
+		asPath string
+	}{
+		{analyzers.LockOrder, "testdata/src/lockorder/pos", "repro/internal/fixture/lockordfix"},
+		{analyzers.GoSpawn, "testdata/src/gospawn/pos", "repro/internal/pfsnet"},
+	}
+	for _, tc := range cases {
+		first := render(tc.a, tc.dir, tc.asPath)
+		if first == "" {
+			t.Fatalf("%s: pos fixture rendered no diagnostics", tc.a.Name)
+		}
+		for i := 0; i < 2; i++ {
+			if again := render(tc.a, tc.dir, tc.asPath); again != first {
+				t.Fatalf("%s output differs across runs:\n--- first\n%s--- again\n%s", tc.a.Name, first, again)
+			}
+		}
+	}
 }
 
 // TestMalformedDirective: a //lint:allow with no reason is itself

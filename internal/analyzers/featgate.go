@@ -1,0 +1,372 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FeatGate enforces the wire-protocol feature-negotiation contract
+// (DESIGN §8, §12, §13): the feature-dependent opcodes and flags —
+// opCancel, opReadDirect (both ride featCancel) and tagTraceFlag
+// (featTrace) — must never be encoded for, or dispatched on behalf of,
+// a peer that did not negotiate the corresponding feature bit. The
+// analyzer mirrors obsnil's domination pass: every use of a gated
+// constant must be dominated by a mask test of the mapped feature bit
+// (`feats&featCancel != 0` guarding the use, an `... == 0` early exit,
+// or a single-expression helper predicate that performs the test).
+// Decode-side mask tests (`tag & tagTraceFlag`) and strips (`&^`) are
+// the gate itself and exempt; an opcode equality or switch-case
+// comparison is accepted when the governed block performs the feature
+// test before acting.
+var FeatGate = &Analyzer{
+	Name: "featgate",
+	Doc:  "feature-dependent ops/flags (opCancel, opReadDirect, tagTraceFlag) must be dominated by a negotiated-feature-bit check",
+	Run:  runFeatGate,
+}
+
+// featGateMap pairs each gated constant with the feature bit whose
+// negotiation licenses it.
+var featGateMap = map[string]string{
+	"opCancel":     "featCancel",
+	"opReadDirect": "featCancel",
+	"tagTraceFlag": "featTrace",
+}
+
+func runFeatGate(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	// gated maps the *types.Const of each declared gated constant to the
+	// *types.Const of its feature bit. A package that declares neither
+	// side of a pair is out of the protocol surface and skipped.
+	gated := map[types.Object]types.Object{}
+	for opName, featName := range featGateMap {
+		op, ok := scope.Lookup(opName).(*types.Const)
+		if !ok {
+			continue
+		}
+		feat, ok := scope.Lookup(featName).(*types.Const)
+		if !ok {
+			continue
+		}
+		gated[op] = feat
+	}
+	if len(gated) == 0 {
+		return nil
+	}
+	pm := newParentMap(pass.Files)
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			featObj, ok := gated[pass.TypesInfo.Uses[id]]
+			if !ok {
+				return true
+			}
+			checkFeatUse(pass, pm, decls, id, featObj)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFeatUse classifies one use of a gated constant and reports it
+// unless the use is licensed.
+func checkFeatUse(pass *Pass, pm parentMap, decls map[*types.Func]*ast.FuncDecl, id *ast.Ident, featObj types.Object) {
+	g := &featGuard{pass: pass, decls: decls, feat: featObj}
+	// Climb out of parentheses to the syntactic context of the use.
+	var child ast.Node = id
+	for {
+		if p, ok := pm[child].(*ast.ParenExpr); ok {
+			child = p
+			continue
+		}
+		break
+	}
+	switch p := pm[child].(type) {
+	case *ast.BinaryExpr:
+		switch p.Op {
+		case token.AND, token.AND_NOT:
+			// Decode-side mask test (`tag & tagTraceFlag`) or strip
+			// (`tag &^ tagTraceFlag`): this IS the gate, not a violation.
+			return
+		case token.EQL, token.NEQ:
+			// Opcode comparison (`fr.op == opCancel`): accepted when the
+			// block the comparison governs performs the feature test
+			// before acting on the match, or when the comparison itself
+			// is already dominated by one.
+			if body := governedBlock(pm, p); body != nil && containsFeatTest(pass, body, featObj) {
+				return
+			}
+			if g.dominated(pm, child) {
+				return
+			}
+			pass.Reportf(id.Pos(), "%s compared without a dominating %s check; test the negotiated feature bits before acting on a feature-gated opcode", id.Name, featObj.Name())
+			return
+		}
+	case *ast.AssignStmt:
+		if p.Tok == token.AND_NOT_ASSIGN {
+			// `tag &^= tagTraceFlag` — decode-side strip.
+			return
+		}
+	case *ast.CaseClause:
+		// `case opReadDirect:` — a dispatch switch cannot hoist the gate
+		// above the comparison; accept when the clause body performs the
+		// feature test.
+		if containsFeatTestStmts(pass, p.Body, featObj) || g.dominated(pm, child) {
+			return
+		}
+		pass.Reportf(id.Pos(), "dispatch on %s without a %s check in the case body; a peer that never negotiated the feature must not reach this handler", id.Name, featObj.Name())
+		return
+	}
+	if g.dominated(pm, child) {
+		return
+	}
+	pass.Reportf(id.Pos(), "%s encoded without a dominating %s check; only a peer that negotiated the feature may be sent this op/flag", id.Name, featObj.Name())
+}
+
+// featGuard holds the context for feature-bit domination queries.
+type featGuard struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	feat  types.Object
+}
+
+// dominated walks the parent chain from n (exactly like obsnil's
+// nilGuarded) and reports whether a feature test dominates the use: the
+// then-branch of `if feats&feat != 0`, the else-branch or post-early-
+// exit of `feats&feat == 0`, or the right side of a `&&` whose left
+// operand implies the test. The walk stops at the enclosing function —
+// a gate outside a closure does not dominate code that runs later.
+func (g *featGuard) dominated(pm parentMap, n ast.Node) bool {
+	child := n
+	for p := pm[child]; p != nil; child, p = p, pm[p] {
+		switch p := p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if p.Op == token.LAND && child == p.Y && g.holds(p.X, 0) {
+				return true
+			}
+		case *ast.IfStmt:
+			if child == p.Body && g.holds(p.Cond, 0) {
+				return true
+			}
+			if child == p.Else && g.fails(p.Cond, 0) {
+				return true
+			}
+		default:
+			list := blockList(p)
+			if list == nil {
+				continue
+			}
+			for _, stmt := range list {
+				if stmt == child {
+					break
+				}
+				ifs, ok := stmt.(*ast.IfStmt)
+				if !ok || ifs.Else != nil {
+					continue
+				}
+				if g.fails(ifs.Cond, 0) && terminates(ifs.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// holds reports whether cond being true guarantees the feature bit is
+// negotiated: `x&feat != 0` (either operand order), strengthened by &&,
+// negation of a failing test, or a helper predicate returning the test.
+func (g *featGuard) holds(cond ast.Expr, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return g.holds(c.X, depth)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return g.fails(c.X, depth)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.NEQ:
+			return g.maskTestAgainstZero(c)
+		case token.LAND:
+			return g.holds(c.X, depth) || g.holds(c.Y, depth)
+		}
+	case *ast.CallExpr:
+		return g.helperImplies(c, depth, (*featGuard).holds)
+	}
+	return false
+}
+
+// fails reports whether ¬cond guarantees the feature bit is negotiated
+// — i.e. cond is `x&feat == 0`, possibly weakened by || with other
+// failure modes (`ver < 2 || feats&feat == 0`), the negation of a
+// holding test, or a helper predicate with that shape.
+func (g *featGuard) fails(cond ast.Expr, depth int) bool {
+	if depth > 2 {
+		return false
+	}
+	switch c := cond.(type) {
+	case *ast.ParenExpr:
+		return g.fails(c.X, depth)
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			return g.holds(c.X, depth)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.EQL:
+			return g.maskTestAgainstZero(c)
+		case token.LOR:
+			return g.fails(c.X, depth) || g.fails(c.Y, depth)
+		}
+	case *ast.CallExpr:
+		return g.helperImplies(c, depth, (*featGuard).fails)
+	}
+	return false
+}
+
+// maskTestAgainstZero reports whether b compares a `x & feat` mask
+// against the literal 0 (either operand order).
+func (g *featGuard) maskTestAgainstZero(b *ast.BinaryExpr) bool {
+	return (g.isFeatMask(b.X) && isZeroLit(b.Y)) || (isZeroLit(b.X) && g.isFeatMask(b.Y))
+}
+
+// isFeatMask reports whether e is a `x & feat` (or `feat & x`)
+// expression over this guard's feature constant.
+func (g *featGuard) isFeatMask(e ast.Expr) bool {
+	e = unparen(e)
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.AND {
+		return false
+	}
+	return g.isFeatConst(b.X) || g.isFeatConst(b.Y)
+}
+
+// isFeatConst reports whether e resolves to the feature constant.
+func (g *featGuard) isFeatConst(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && g.pass.TypesInfo.Uses[id] == g.feat
+}
+
+// helperImplies resolves call to a same-package function whose body is
+// a single `return <expr>` and applies pred to that expression — the
+// "feature check behind a helper method" idiom
+// (`if c.supportsCancel() { ... }`).
+func (g *featGuard) helperImplies(call *ast.CallExpr, depth int, pred func(*featGuard, ast.Expr, int) bool) bool {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := g.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	decl := g.decls[fn]
+	if decl == nil || decl.Body == nil || len(decl.Body.List) != 1 {
+		return false
+	}
+	ret, ok := decl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	return pred(g, ret.Results[0], depth+1)
+}
+
+// governedBlock returns the block guarded by a comparison: climbing
+// through &&/||/parens, if the comparison is (part of) an if condition,
+// the if body is what the match governs.
+func governedBlock(pm parentMap, cmp ast.Expr) *ast.BlockStmt {
+	var child ast.Node = cmp
+	for p := pm[child]; p != nil; child, p = p, pm[p] {
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			if p.Op == token.LAND || p.Op == token.LOR {
+				continue
+			}
+			return nil
+		case *ast.IfStmt:
+			if p.Cond == child {
+				return p.Body
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// containsFeatTest reports whether any statement in the block performs
+// a mask test of the feature constant.
+func containsFeatTest(pass *Pass, body *ast.BlockStmt, feat types.Object) bool {
+	return containsFeatTestStmts(pass, body.List, feat)
+}
+
+func containsFeatTestStmts(pass *Pass, stmts []ast.Stmt, feat types.Object) bool {
+	g := &featGuard{pass: pass, feat: feat}
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.AND && (g.isFeatConst(b.X) || g.isFeatConst(b.Y)) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// packageFuncDecls indexes every function/method declaration in the
+// package by its type-checker object, for helper-predicate resolution.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// unparen strips any parentheses around e.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isZeroLit reports whether e is the integer literal 0.
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -1,0 +1,50 @@
+// Positive atomicmix cases: fields and package variables touched both
+// through sync/atomic and plainly.
+package atomfix
+
+import "sync/atomic"
+
+type counters struct {
+	n     int64
+	other int64
+}
+
+type server struct {
+	counters
+	plain int64
+}
+
+// bump marks counters.n as atomically accessed.
+func (s *server) bump() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// A promoted plain read of the same field object races with bump.
+func (s *server) read() int64 {
+	return s.n // want "accessed via sync/atomic"
+}
+
+// The explicit spelling resolves to the same field: still a mix.
+func (s *server) readExplicit() int64 {
+	return s.counters.n // want "accessed via sync/atomic"
+}
+
+// A plain write is the worst mix of all.
+func (s *server) reset() {
+	s.n = 0 // want "accessed via sync/atomic"
+}
+
+// The untouched sibling field stays free.
+func (s *server) sibling() int64 {
+	return s.other + s.plain
+}
+
+var pkgCount int64
+
+func bumpPkg() {
+	atomic.StoreInt64(&pkgCount, 1)
+}
+
+func readPkg() int64 {
+	return pkgCount // want "accessed via sync/atomic"
+}

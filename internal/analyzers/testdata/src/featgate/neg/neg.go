@@ -1,0 +1,106 @@
+// Negative featgate cases: every licensed form — if-body gates,
+// ||-early-exits, same-expression && gates, helper predicates in both
+// polarities, decode-side mask tests and strips, feature tests inside
+// the governed block, else-branches, and a documented waiver.
+package featfix
+
+const (
+	opWrite      byte = 0x01
+	opCancel     byte = 0x10
+	opReadDirect byte = 0x11
+)
+
+const (
+	featTrace  uint32 = 1 << 0
+	featCancel uint32 = 1 << 1
+)
+
+const tagTraceFlag = uint64(1) << 63
+
+type conn struct {
+	features uint32
+	ver      int
+}
+
+func send(op byte) {}
+
+// If-body gate.
+func (c *conn) cancel() {
+	if c.features&featCancel != 0 {
+		send(opCancel)
+	}
+}
+
+// Early-exit gate: the || chain fails the feature, so code after it
+// runs only for a negotiating peer.
+func (c *conn) readDirect() {
+	if c.ver < 2 || c.features&featCancel == 0 {
+		return
+	}
+	send(opReadDirect)
+}
+
+// Same-expression gate: the && left operand licenses the right.
+func (c *conn) isCancel(op byte) bool {
+	return c.features&featCancel != 0 && op == opCancel
+}
+
+// Helper-predicate gate, both polarities.
+func (c *conn) canCancel() bool {
+	return c.features&featCancel != 0
+}
+
+func (c *conn) viaHelper() {
+	if c.canCancel() {
+		send(opCancel)
+	}
+}
+
+func (c *conn) viaHelperEarlyExit() {
+	if !c.canCancel() {
+		return
+	}
+	send(opReadDirect)
+}
+
+// Decode side: mask tests and strips ARE the gate.
+func decode(tag uint64) (uint64, bool) {
+	traced := tag&tagTraceFlag != 0
+	tag &^= tagTraceFlag
+	return tag, traced
+}
+
+// A dispatch case that tests the feature before acting.
+func (c *conn) dispatch(op byte) {
+	switch op {
+	case opReadDirect:
+		if c.features&featCancel == 0 {
+			return
+		}
+		send(op)
+	}
+}
+
+// A comparison whose governed block performs the feature test.
+func (c *conn) handle(op byte) {
+	if op == opCancel {
+		if c.features&featCancel != 0 {
+			send(op)
+		}
+	}
+}
+
+// Else-branch of a failing test.
+func (c *conn) elseGate() {
+	if c.features&featCancel == 0 {
+		send(opWrite)
+	} else {
+		send(opCancel)
+	}
+}
+
+// Documented waiver for an encode helper below the gate.
+func stampTag(tag uint64) uint64 {
+	//lint:allow featgate encode helper below the gate; callers check featTrace
+	return tag | tagTraceFlag
+}

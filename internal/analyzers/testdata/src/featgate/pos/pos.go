@@ -1,0 +1,59 @@
+// Positive featgate cases: gated ops and flags reached with no
+// feature-bit check, with the wrong bit, and dispatch/comparison
+// forms whose governed code never tests the feature.
+package featfix
+
+const (
+	opWrite      byte = 0x01
+	opCancel     byte = 0x10
+	opReadDirect byte = 0x11
+)
+
+const (
+	featTrace  uint32 = 1 << 0
+	featCancel uint32 = 1 << 1
+)
+
+const tagTraceFlag = uint64(1) << 63
+
+type conn struct {
+	features uint32
+	ver      int
+}
+
+func send(op byte) {}
+
+// Bare encode with no gate anywhere.
+func (c *conn) cancelOp() byte {
+	return opCancel // want "encoded without a dominating featCancel check"
+}
+
+// Gated by the WRONG bit: featTrace does not license opReadDirect.
+func (c *conn) readDirect() {
+	if c.features&featTrace != 0 {
+		send(opReadDirect) // want "encoded without a dominating featCancel check"
+	}
+}
+
+// Dispatch case whose body never tests the feature.
+func (c *conn) dispatch(op byte) {
+	switch op {
+	case opWrite:
+		send(op)
+	case opReadDirect: // want "dispatch on opReadDirect without a featCancel check in the case body"
+		send(op)
+	}
+}
+
+// Comparison acted on without a feature test.
+func (c *conn) isCancel(op byte) bool {
+	if op == opCancel { // want "compared without a dominating featCancel check"
+		return true
+	}
+	return false
+}
+
+// Trace flag encoded with no featTrace gate.
+func (c *conn) stamp(tag uint64) uint64 {
+	return tag | tagTraceFlag // want "encoded without a dominating featTrace check"
+}

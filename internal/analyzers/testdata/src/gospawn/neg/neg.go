@@ -1,0 +1,114 @@
+// Negative gospawn cases: every accepted form of shutdown evidence —
+// select on a done channel, range over a channel, WaitGroup join,
+// close hooks reached through same-package callee chains (including a
+// deferred Close), context watch, channel send, and a documented
+// waiver for a process-lifetime goroutine.
+package pfsnet
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	done chan struct{}
+	dead chan struct{}
+	work chan int
+}
+
+// select on a done channel.
+func (p *pump) run() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case j := <-p.work:
+				_ = j
+			}
+		}
+	}()
+}
+
+// range over a channel ends when the owner closes it.
+func (p *pump) drain() {
+	go func() {
+		for j := range p.work {
+			_ = j
+		}
+	}()
+}
+
+// WaitGroup join: an owner's Wait collects us.
+func fanOut(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		step()
+	}()
+}
+
+func step() {}
+
+func bad() bool { return false }
+
+// Close hook reached through a callee chain: readLoop -> kill ->
+// close(p.dead), depth 2.
+func (p *pump) start() {
+	go p.readLoop()
+}
+
+func (p *pump) readLoop() {
+	for {
+		if bad() {
+			p.kill()
+			return
+		}
+	}
+}
+
+func (p *pump) kill() {
+	close(p.dead)
+}
+
+// Deferred Close whose body owns the close hook.
+func (p *pump) serve() {
+	go func() {
+		defer p.Close()
+		for {
+			if bad() {
+				return
+			}
+		}
+	}()
+}
+
+func (p *pump) Close() {
+	close(p.done)
+}
+
+// Context watch.
+func watch(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Channel send: an owner draining (or closing) the channel releases us.
+func (p *pump) produce() {
+	go func() {
+		p.work <- 1
+	}()
+}
+
+// A deliberate fire-and-forget with a documented waiver.
+func fireAndForget() {
+	//lint:allow gospawn process-lifetime logger; exits with the process
+	go spinForever()
+}
+
+func spinForever() {
+	for {
+		step()
+	}
+}

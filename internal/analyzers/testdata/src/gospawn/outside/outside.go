@@ -1,0 +1,13 @@
+// An unkillable goroutine in a package outside the enforced surface:
+// gospawn must stay silent here.
+package other
+
+func churn() {}
+
+func spawn() {
+	go func() {
+		for {
+			churn()
+		}
+	}()
+}

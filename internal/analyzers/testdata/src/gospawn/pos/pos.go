@@ -1,0 +1,27 @@
+// Positive gospawn cases: goroutines with no shutdown path at all and
+// a spawn the package cannot see into.
+package pfsnet
+
+import "net"
+
+// spin has no channel, context, or join anywhere in reach.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func work() {}
+
+func spawnAll(c net.Conn) {
+	go spin() // want "no provable shutdown path"
+
+	go func() { // want "no provable shutdown path"
+		for {
+			work()
+		}
+	}()
+
+	// An interface method has no visible body to prove anything about.
+	go c.Close() // want "cannot see into"
+}

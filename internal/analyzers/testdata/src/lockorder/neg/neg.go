@@ -1,0 +1,82 @@
+// Negative lockorder cases: consistent ordering, release-before-next,
+// block-scoped deferred unlocks, goroutine boundaries, and helpers
+// that fully release before returning.
+package lockordfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// Both paths take A.mu before B.mu: one order, no cycle.
+func firstPath() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func secondPath() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+var (
+	logMu   sync.Mutex
+	workMu  sync.Mutex
+	bridged bool
+)
+
+// Releasing before the next acquisition creates no edge at all.
+func sequential() {
+	logMu.Lock()
+	logMu.Unlock()
+	workMu.Lock()
+	workMu.Unlock()
+}
+
+// A branch that locks under defer and returns does not hold its lock
+// into the code after the branch — the later re-acquisition is fine.
+// (Models DataServer.handleWrite's bridge/direct split.)
+func branchDefer() {
+	if bridged {
+		logMu.Lock()
+		defer logMu.Unlock()
+		bridged = false
+		return
+	}
+	logMu.Lock()
+	bridged = true
+	logMu.Unlock()
+}
+
+// A goroutine body runs on its own stack: locks taken there are not
+// "while held" relative to the spawner.
+func spawnUnderLock() {
+	workMu.Lock()
+	go func() {
+		logMu.Lock()
+		logMu.Unlock()
+	}()
+	workMu.Unlock()
+}
+
+// A callee that releases everything it takes contributes no held
+// locks to the caller's next acquisition.
+func viaHelper() {
+	lockAndRelease()
+	logMu.Lock()
+	logMu.Unlock()
+}
+
+func lockAndRelease() {
+	workMu.Lock()
+	workMu.Unlock()
+}

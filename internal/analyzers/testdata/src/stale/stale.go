@@ -1,0 +1,25 @@
+// Fixture for stale-waiver detection: one directive that suppresses a
+// real finding, one that suppresses nothing, and one naming an
+// analyzer the suite has never heard of. Checked by TestStaleWaiver
+// with explicit assertions rather than want comments.
+package hdd
+
+import "time"
+
+// A used waiver: the directive suppresses the finding under it.
+func used() time.Time {
+	//lint:allow detclock fixture exercises a used waiver
+	return time.Now()
+}
+
+// A stale waiver: nothing on this line or the next violates detclock.
+func stale() int {
+	//lint:allow detclock nothing to suppress here
+	return 42
+}
+
+// A misspelled analyzer name is reported regardless of the run set.
+func typo() int {
+	//lint:allow detclok misspelled analyzer name
+	return 7
+}

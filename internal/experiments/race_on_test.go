@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors the -race build flag so the heavyweight
+// full-evaluation tests can scale themselves down under the race
+// detector's ~10x slowdown instead of blowing the package timeout.
+const raceEnabled = true

@@ -881,7 +881,6 @@ func (c *Client) Close() error {
 	// deterministically.
 	haddrs := make([]string, 0, len(c.hdata))
 	for addr := range c.hdata {
-		//lint:allow detmaprange sorted below before use
 		haddrs = append(haddrs, addr)
 	}
 	sort.Strings(haddrs)
@@ -1045,7 +1044,6 @@ func (c *Client) LatencySnapshot() []ServerLatency {
 	c.latMu.Lock()
 	keys := make([]latKey, 0, len(c.sketches))
 	for k := range c.sketches {
-		//lint:allow detmaprange sorted below before use
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

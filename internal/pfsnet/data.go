@@ -364,7 +364,11 @@ func (s *DataServer) serveConn(conn net.Conn) {
 	if hasFirst {
 		firstp = &first
 	}
-	serveFrames(conn, br, bw, ProtoV1, firstp, s.wm, s.ioTimeout, s.dispatch)
+	// A v1 peer negotiated no features: dispatch with an empty feature
+	// set so feature-gated opcodes are rejected, not silently served.
+	serveFrames(conn, br, bw, ProtoV1, firstp, s.wm, s.ioTimeout, func(op byte, payload []byte) (byte, []byte) {
+		return s.dispatch(0, op, payload)
+	})
 }
 
 // servePipelined runs the v2 per-connection pipeline: this goroutine
@@ -420,7 +424,7 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 					t0 = time.Now()
 					s.tracer.Span(fr.tcID, s.tracer.NewID(), fr.tcSpan, "queue-wait", scope, fr.enq, t0.Sub(fr.enq))
 				}
-				op, reply := s.dispatch(fr.op, fr.body())
+				op, reply := s.dispatch(feats, fr.op, fr.body())
 				out := frame{tag: fr.tag, op: op, payload: reply}
 				if traced {
 					now := time.Now()
@@ -462,9 +466,10 @@ func (s *DataServer) servePipelined(conn net.Conn, br *bufio.Reader, bw *bufio.W
 		s.wm.onRx(len(fr.payload))
 		if fr.op == opCancel {
 			// Fire-and-forget by contract: never enters the worker pool,
-			// never generates a reply. Ignored when featCancel was not
-			// negotiated — a stray cancel cannot reference queued work.
-			if cancels != nil {
+			// never generates a reply. Honored only when featCancel was
+			// negotiated — a stray cancel on an ungated connection cannot
+			// reference queued work and is dropped on the floor.
+			if feats&featCancel != 0 {
 				d := dec{b: fr.body()}
 				if target := d.u64(); d.err == nil {
 					s.ctr.cancelsReceived.Add(1)
@@ -577,8 +582,10 @@ func (s *DataServer) respondBuffered(conn net.Conn, bw *bufio.Writer, resp chan 
 }
 
 // dispatch executes one request and returns the reply opcode and pooled
-// payload.
-func (s *DataServer) dispatch(op byte, payload []byte) (byte, []byte) {
+// payload. feats is the connection's negotiated feature set: opcodes
+// that ride a feature bit (opReadDirect rides featCancel, DESIGN §13)
+// are protocol errors on a connection that never negotiated it.
+func (s *DataServer) dispatch(feats uint32, op byte, payload []byte) (byte, []byte) {
 	var reply []byte
 	var err error
 	switch op {
@@ -587,7 +594,11 @@ func (s *DataServer) dispatch(op byte, payload []byte) (byte, []byte) {
 	case opRead:
 		reply, err = s.handleRead(payload)
 	case opReadDirect:
-		reply, err = s.handleReadDirect(payload)
+		if feats&featCancel == 0 {
+			err = fmt.Errorf("pfsnet data: opReadDirect without negotiated featCancel")
+		} else {
+			reply, err = s.handleReadDirect(payload)
+		}
 	case opStat:
 		reply, err = s.handleStat(payload)
 	case opFlush:

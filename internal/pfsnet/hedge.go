@@ -174,9 +174,20 @@ func (c *Client) awaitHedged(cn *conn, w *wireCall, addr string, encode func() [
 	case <-w.done:
 		// Primary won. Abandon the hedge so its late reply is discarded
 		// by the hedge conn's readLoop, and ask the server to drop it.
-		if hc.abandon(w2) && hc.sendCancel(w2.tag) {
-			hm.onCancelSent()
+		if hc.abandon(w2) {
+			if hc.sendCancel(w2.tag) {
+				hm.onCancelSent()
+			}
+			return
 		}
+		// The hedge conn's reader claimed w2 before the abandon landed:
+		// its reply is (about to be) complete and nothing downstream
+		// will ever look at it. Wait out the close and release the
+		// pooled reply here — the losing copy is freed exactly once
+		// (DESIGN §11), on whichever side owns it after the race.
+		<-w2.done
+		putBuf(w2.reply)
+		w2.reply = nil
 		return
 	case <-w2.done:
 	}
@@ -408,7 +419,6 @@ func (c *Client) releaseHedge() {
 func (c *Client) SetLoadHints(h map[string]float64) {
 	cp := make(map[string]float64, len(h))
 	for k, v := range h {
-		//lint:allow detmaprange map-to-map copy; no order-dependent state escapes
 		cp[k] = v
 	}
 	c.hintMu.Lock()
@@ -426,7 +436,6 @@ func (c *Client) LoadHints() map[string]float64 {
 	}
 	cp := make(map[string]float64, len(c.hints))
 	for k, v := range c.hints {
-		//lint:allow detmaprange map-to-map copy; no order-dependent state escapes
 		cp[k] = v
 	}
 	return cp

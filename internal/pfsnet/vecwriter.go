@@ -117,6 +117,7 @@ func (w *vecWriter) writeFrameCtx(tag uint64, op byte, tcID, tcSpan uint64, payl
 		return ErrTooLarge
 	}
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+9+traceCtxSize))
+	//lint:allow featgate encode helper below the gate: callers reach writeFrameCtx only with a tcID set under a featTrace check (DESIGN §12)
 	binary.BigEndian.PutUint64(hdr[4:12], tag|tagTraceFlag)
 	hdr[12] = op
 	binary.BigEndian.PutUint64(hdr[13:21], tcID)
