@@ -56,13 +56,15 @@ lint:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 
-# Benchmark trajectory artifact: run the loopback wire benchmarks, time
-# a full (smoke-scale) paper evaluation, and snapshot both into
-# BENCH_$(PR).json for committing. Each perf-focused PR bumps PR= and
-# commits its own snapshot; bench-check then gates the trajectory.
-PR ?= 8
+# Benchmark trajectory artifact: run the loopback wire benchmarks plus
+# the logstore append/replay pair, time a full (smoke-scale) paper
+# evaluation, and snapshot everything into BENCH_$(PR).json for
+# committing. Each perf-focused PR bumps PR= and commits its own
+# snapshot; bench-check then gates the trajectory.
+PR ?= 10
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkPfsnet' -benchmem -benchtime 2s ./internal/pfsnet/ | tee bench-raw.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkLogStore' -benchmem -benchtime 2s ./internal/logstore/ | tee -a bench-raw.txt
 	$(GO) run ./cmd/ibridge-benchdiff -emit -pr $(PR) \
 		-wallcmd '$(GO) run ./cmd/ibridge-bench -exp all -scale smoke' \
 		< bench-raw.txt > BENCH_$(PR).json
@@ -87,6 +89,11 @@ bench-check:
 # counts are timing-dependent, so they print before the summary and stay
 # out of the reproducibility diff); the merged Chrome trace lands in
 # chaos-trace.json for chrome://tracing and is uploaded as a CI artifact.
+# The same plan then runs against log-backed (crash-consistent) servers,
+# and the kill-at-every-Kth-op recovery loop (cmd/logstore-chaos) crashes
+# a logstore mid-append on every Kth write, reopens, replays, and
+# byte-verifies — its RECOVERY SUMMARY stays in recovery-summary.txt for
+# the CI artifact upload and must also be run-to-run identical.
 CHAOS_PLAN = seed=42; reset=1%; crash=srv1@60+60
 # Hedge gate: the straggler walkthrough (every primary conn op delayed,
 # hedge conns fast) must verify every byte and print an identical HEDGE
@@ -108,6 +115,18 @@ chaos-smoke:
 	@diff hedge-run1.txt hedge-run2.txt || { echo "chaos-smoke: hedge summaries differ across identical runs"; exit 1; }
 	@echo "chaos-smoke: hedged run byte-verified, reproducible:"; cat hedge-run1.txt
 	@rm -f hedge-run1.txt hedge-run2.txt
+	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' -store log | sed -n '/CHAOS SUMMARY/,$$p' > chaos-log-run1.txt
+	$(GO) run ./examples/livecluster -faults '$(CHAOS_PLAN)' -store log | sed -n '/CHAOS SUMMARY/,$$p' > chaos-log-run2.txt
+	@grep -q 'chaos: completed, data verified' chaos-log-run1.txt || { echo "chaos-smoke: log-store run did not complete"; exit 1; }
+	@diff chaos-log-run1.txt chaos-log-run2.txt || { echo "chaos-smoke: log-store summaries differ across identical runs"; exit 1; }
+	@echo "chaos-smoke: log-store cluster byte-verified, reproducible:"; cat chaos-log-run1.txt
+	@rm -f chaos-log-run1.txt chaos-log-run2.txt
+	$(GO) run ./cmd/logstore-chaos | sed -n '/RECOVERY SUMMARY/,$$p' > recovery-summary.txt
+	$(GO) run ./cmd/logstore-chaos | sed -n '/RECOVERY SUMMARY/,$$p' > recovery-run2.txt
+	@grep -q 'zero data loss' recovery-summary.txt || { echo "chaos-smoke: recovery loop did not complete"; exit 1; }
+	@diff recovery-summary.txt recovery-run2.txt || { echo "chaos-smoke: recovery summaries differ across identical runs"; exit 1; }
+	@echo "chaos-smoke: kill-at-every-Kth-op recovery loop byte-verified, reproducible:"; cat recovery-summary.txt
+	@rm -f recovery-run2.txt
 
 # Coverage across all packages, with an HTML report in cover.html.
 cover:

@@ -4,10 +4,19 @@
 //
 //	pfs-server -listen 127.0.0.1:7001 -ibridge
 //	pfs-server -listen 127.0.0.1:7001 -workers 16
+//	pfs-server -listen 127.0.0.1:7001 -store log -store-dir /data/srv0
 //	pfs-server -listen 127.0.0.1:7001 -debug-addr 127.0.0.1:7071
 //	pfs-server -listen 127.0.0.1:7001 -span-file srv0.spans
 //	pfs-server -listen 127.0.0.1:7001 -io-timeout 10s \
 //	    -faults 'seed=1; reset=1%; ssdfail=srv0@100' -fault-scope srv0
+//
+// -store selects the backing object store: "mem" (default, volatile),
+// "file" (one sparse file per object under -store-dir; durable only
+// after a clean shutdown), or "log" (internal/logstore: append-only
+// checksummed log under -store-dir with checkpointed journal replay —
+// survives kill -9 mid-write; see DESIGN §14). -checkpoint-bytes tunes
+// how much appended log triggers a mapping-table checkpoint for the
+// log store.
 //
 // The server speaks wire protocol v2 (pipelined, multiplexed tagged
 // frames) with v2 clients and falls back to v1 per connection; -workers
@@ -37,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
@@ -45,7 +55,10 @@ func main() {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7001", "address to listen on")
 		ibridge    = flag.Bool("ibridge", false, "enable the iBridge fragment log")
-		dir        = flag.String("dir", "", "store objects in files under this directory (default: in memory)")
+		dir        = flag.String("dir", "", "store objects in files under this directory (deprecated alias for -store file -store-dir DIR)")
+		storeKind  = flag.String("store", "", "backing store: mem (default), file, or log (crash-consistent; see DESIGN §14)")
+		storeDir   = flag.String("store-dir", "", "directory for the file or log store")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "log store: install a mapping-table checkpoint after this many appended log bytes (0 = default 4MiB, <0 = only on open/close)")
 		workers    = flag.Int("workers", 0, "per-connection handler pool size for pipelined (v2) connections (0 = default)")
 		maxProto   = flag.Int("max-proto", 0, "highest wire protocol version to negotiate (0 = latest, 1 = legacy)")
 		noVec      = flag.Bool("no-vectored", false, "respond through the corked bufio path instead of vectored (writev) submission")
@@ -65,17 +78,10 @@ func main() {
 			log.Fatalf("pfs-server: %v", err)
 		}
 	}
-	var store pfsnet.ObjectStore = pfsnet.NewMemStore()
-	if *dir != "" {
-		var err error
-		store, err = pfsnet.NewFileStore(*dir)
-		if err != nil {
-			log.Fatalf("pfs-server: %v", err)
-		}
-	}
 	// The registry is shared: the wire layer updates its
-	// "pfsnet.server.*" metrics inline, and the Stats counters are
-	// published as functions read at scrape time.
+	// "pfsnet.server.*" metrics inline, the log store (when selected)
+	// adds "logstore.*", and the Stats counters are published as
+	// functions read at scrape time.
 	reg := obs.NewRegistry()
 	// The tracer names this process by its fault scope ("srv0", ...),
 	// which is what groups its spans into one pid lane after a merge.
@@ -84,6 +90,53 @@ func main() {
 		tracer = obs.NewXTracer(*faultScope, 0)
 		tracer.SetDropCounter(reg.Counter("obs.trace.dropped_events"))
 		plan.SetTracer(tracer)
+	}
+	// Store selection: -store {mem,file,log}; the older -dir flag is an
+	// alias for the file store so existing invocations keep working.
+	kind, sdir := *storeKind, *storeDir
+	if sdir == "" {
+		sdir = *dir
+	}
+	if kind == "" {
+		if sdir != "" {
+			kind = "file"
+		} else {
+			kind = "mem"
+		}
+	}
+	var store pfsnet.ObjectStore
+	var logStore *logstore.LogStore
+	switch kind {
+	case "mem":
+		store = pfsnet.NewMemStore()
+	case "file":
+		if sdir == "" {
+			log.Fatal("pfs-server: -store file requires -store-dir")
+		}
+		fs, err := pfsnet.NewFileStore(sdir)
+		if err != nil {
+			log.Fatalf("pfs-server: %v", err)
+		}
+		store = fs
+	case "log":
+		if sdir == "" {
+			log.Fatal("pfs-server: -store log requires -store-dir")
+		}
+		ls, err := logstore.Open(sdir, logstore.Config{
+			CheckpointBytes: *ckptBytes,
+			Obs:             reg,
+			Tracer:          tracer,
+			Scope:           *faultScope,
+		})
+		if err != nil {
+			log.Fatalf("pfs-server: %v", err)
+		}
+		st := ls.Stats()
+		log.Printf("pfs-server: log store %s: generation %d, %d records replayed, %d torn tails truncated",
+			sdir, st.Generation, st.ReplayedRecords, st.TruncatedTails)
+		store, logStore = ls, ls
+	default:
+		log.Fatalf("pfs-server: unknown -store %q (want mem, file, or log)", kind)
 	}
 	ds, err := pfsnet.NewDataServerConfig(*listen, pfsnet.ServerConfig{
 		Bridge:          *ibridge,
@@ -108,6 +161,12 @@ func main() {
 		reg.RegisterFunc("pfs.fragment_writes", func() float64 { return float64(ds.Stats().FragmentWrites) })
 		reg.RegisterFunc("pfs.fragment_reads", func() float64 { return float64(ds.Stats().FragmentReads) })
 		reg.RegisterFunc("pfs.log_bytes", func() float64 { return float64(ds.Stats().LogBytes) })
+		if logStore != nil {
+			// The logstore.* counters and gauges live in the shared
+			// registry already; the generation is the one piece of state
+			// only Stats exposes.
+			reg.RegisterFunc("logstore.generation", func() float64 { return float64(logStore.Stats().Generation) })
+		}
 		reg.PublishExpvar("pfs")
 		go func() {
 			mux := http.NewServeMux()

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/logstore"
 	"repro/internal/obs"
 	"repro/internal/pfsnet"
 )
@@ -52,6 +53,7 @@ const (
 func main() {
 	faultSpec := flag.String("faults", "", "deterministic fault plan (see internal/faults); enables the chaos walkthrough")
 	ops := flag.Int("ops", 200, "chaos mode: number of sequential block writes")
+	storeKind := flag.String("store", "file", "chaos mode: per-server backing store, file or log (crash-consistent logstore; DESIGN §14)")
 	spansDir := flag.String("spans-dir", "", "chaos mode: write per-process span files (client.spans, srvN.spans) here; merge with 'ibridge-trace -merge'")
 	hedge := flag.Bool("hedge", false, "run the hedged-read walkthrough instead: straggling primaries, hedged re-issues, loser cancellation")
 	hedgeDelay := flag.Duration("hedge-delay", 5*time.Millisecond, "hedge mode: fixed hedge timer (0 = adaptive from the latency sketch)")
@@ -80,7 +82,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	chaos(plan, *ops, *spansDir)
+	if *storeKind != "file" && *storeKind != "log" {
+		log.Fatalf("livecluster: unknown -store %q (want file or log)", *storeKind)
+	}
+	chaos(plan, *ops, *spansDir, *storeKind)
 }
 
 // demo is the original fault-free walkthrough.
@@ -260,16 +265,35 @@ type chaosServer struct {
 	scope string
 	addr  string
 	dir   string
+	store string // "file" or "log"
 	// tracer outlives crashes: a restarted server keeps appending spans
 	// to its slot's buffer, so the span file covers the whole run.
 	tracer *obs.XTracer
 	ds     *pfsnet.DataServer // nil while crashed
+	// Cumulative recovery counters across this slot's restarts (log
+	// store only): every restart replays the journal, and with the
+	// op-indexed crash schedule both totals are deterministic — they
+	// belong in the CHAOS SUMMARY.
+	replays, tornTails int64
 }
 
 func (s *chaosServer) start(plan *faults.Plan) error {
-	store, err := pfsnet.NewFileStore(s.dir)
-	if err != nil {
-		return err
+	var store pfsnet.ObjectStore
+	if s.store == "log" {
+		ls, err := logstore.Open(s.dir, logstore.Config{Scope: s.scope})
+		if err != nil {
+			return err
+		}
+		st := ls.Stats()
+		s.replays += st.Replays
+		s.tornTails += st.TruncatedTails
+		store = ls
+	} else {
+		fs, err := pfsnet.NewFileStore(s.dir)
+		if err != nil {
+			return err
+		}
+		store = fs
 	}
 	ds, err := pfsnet.NewDataServerConfig(s.addr, pfsnet.ServerConfig{
 		Bridge:     true,
@@ -289,7 +313,7 @@ func (s *chaosServer) start(plan *faults.Plan) error {
 // chaos runs the deterministic fault walkthrough: ops sequential
 // unaligned block writes while the plan injects faults, then full byte
 // verification and a reproducible summary.
-func chaos(plan *faults.Plan, ops int, spansDir string) {
+func chaos(plan *faults.Plan, ops int, spansDir, storeKind string) {
 	fmt.Printf("chaos plan: %s (seed %d)\n", plan.String(), plan.Seed())
 	root, err := os.MkdirTemp("", "livecluster-chaos-")
 	if err != nil {
@@ -306,6 +330,7 @@ func chaos(plan *faults.Plan, ops int, spansDir string) {
 			scope: fmt.Sprintf("srv%d", i),
 			addr:  "127.0.0.1:0",
 			dir:   filepath.Join(root, fmt.Sprintf("srv%d", i)),
+			store: storeKind,
 		}
 		if spansDir != "" {
 			servers[i].tracer = obs.NewXTracer(servers[i].scope, 0)
@@ -473,8 +498,22 @@ func chaos(plan *faults.Plan, ops int, spansDir string) {
 	// timings deliberately excluded).
 	fmt.Println("\nCHAOS SUMMARY")
 	fmt.Printf("plan: %s\n", plan.String())
+	fmt.Printf("store: %s\n", storeKind)
 	fmt.Printf("faults injected: %s\n", plan.CountsString())
 	fmt.Printf("deferred-during-downtime: %d\n", len(failedOps))
+	if storeKind == "log" {
+		// Every restart replays the journal; with the op-indexed crash
+		// schedule the totals are deterministic. Torn tails stay 0 here
+		// because livecluster "crashes" close the process cleanly — the
+		// mid-write kill loop lives in cmd/logstore-chaos.
+		var replays, torn int64
+		for _, s := range servers {
+			replays += s.replays
+			torn += s.tornTails
+		}
+		fmt.Printf("logstore.replays: %d\n", replays)
+		fmt.Printf("logstore.truncated_tails: %d\n", torn)
+	}
 	vals := reg.CounterValues()
 	keys := make([]string, 0, len(vals))
 	for k := range vals {

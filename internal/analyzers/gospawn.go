@@ -26,9 +26,10 @@ var GoSpawn = &Analyzer{
 // goSpawnPackages is the enforced surface: the packages that spawn
 // long-lived goroutines against real sockets, timers, and fault plans.
 var goSpawnPackages = map[string]bool{
-	"repro/internal/pfsnet": true,
-	"repro/internal/faults": true,
-	"repro/internal/runner": true,
+	"repro/internal/pfsnet":   true,
+	"repro/internal/faults":   true,
+	"repro/internal/runner":   true,
+	"repro/internal/logstore": true,
 }
 
 func runGoSpawn(pass *Pass) error {

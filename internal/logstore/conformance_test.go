@@ -1,0 +1,37 @@
+package logstore
+
+import (
+	"testing"
+
+	"repro/internal/storetest"
+)
+
+// LogStore runs the same storetest conformance suite as MemStore and
+// FileStore (pfsnet's store_conformance_test.go): identical sparse,
+// zero-fill, negative-offset, and concurrency semantics, plus the
+// durability this package adds on top.
+func TestLogStoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Store {
+		s, err := Open(t.TempDir(), Config{NoCompactor: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+// TestLogStoreConformanceDegraded re-runs the suite against a store
+// whose log device has already failed: degraded mode must keep the
+// exact ObjectStore semantics, just without durability.
+func TestLogStoreConformanceDegraded(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) storetest.Store {
+		s, err := Open(t.TempDir(), Config{NoCompactor: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.FailDevice(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}

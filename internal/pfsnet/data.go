@@ -29,10 +29,28 @@ import (
 // split so independent requests do not serialize behind one lock: the
 // fragment log and its mapping table are guarded by logMu, counters are
 // atomic, and object-store I/O runs outside both.
+// DurableStore is the optional crash-consistency extension of
+// ObjectStore that logstore.LogStore implements. A data server whose
+// store satisfies it folds the store's record appends into the fault
+// plan's ssdfail write count (so `ssdfail=srvN@K` specs written against
+// the legacy fragment log apply unchanged to log-backed servers) and
+// fails the store's device together with the bridge log when the
+// scheduled failure trips.
+type DurableStore interface {
+	ObjectStore
+	// RecordAppends returns the number of acknowledged log-record
+	// appends since the store opened.
+	RecordAppends() int64
+	// FailDevice simulates the store's log device failing: the store
+	// degrades to serving from memory, losing durability but no bytes.
+	FailDevice() error
+}
+
 type DataServer struct {
 	ln        net.Listener
 	bridge    bool
 	store     ObjectStore
+	durable   DurableStore // non-nil when store is crash-consistent (logstore)
 	workers   int
 	maxProto  int
 	noVec     bool
@@ -215,6 +233,9 @@ func NewDataServerConfig(addr string, cfg ServerConfig) (*DataServer, error) {
 		table:     make(map[extKey]extVal),
 		quit:      make(chan struct{}),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	if ds, ok := store.(DurableStore); ok {
+		s.durable = ds
 	}
 	if n, ok := cfg.FaultPlan.SSDFailWrites(cfg.FaultScope); ok {
 		s.ssdFailAfter = n
@@ -639,9 +660,9 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 		logOff := int64(len(s.logData))
 		s.logData = append(s.logData, data...)
 		s.table[extKey{file, off}] = extVal{logOff: logOff, length: int64(len(data))}
-		n := s.ctr.fragmentWrites.Add(1)
+		s.ctr.fragmentWrites.Add(1)
 		s.ctr.logBytes.Add(int64(len(data)))
-		if s.ssdFailAfter > 0 && n >= s.ssdFailAfter {
+		if s.ssdFailAfter > 0 && s.ssdWriteCount() >= s.ssdFailAfter {
 			// The scheduled device failure trips on this write: drain the
 			// log (this write included) and degrade to the direct path.
 			if err := s.failSSDLocked(); err != nil {
@@ -659,7 +680,30 @@ func (s *DataServer) handleWrite(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return nil, s.store.WriteAt(file, off, data)
+	if err := s.store.WriteAt(file, off, data); err != nil {
+		return nil, err
+	}
+	// Log-backed stores append a record per write, and those appends
+	// count toward the scheduled device failure exactly like legacy
+	// fragment-log writes — `ssdfail=srvN@K` fault specs apply
+	// unchanged whichever store backs the server.
+	if s.durable != nil && s.ssdFailAfter > 0 && !s.ssdDown.Load() && s.ssdWriteCount() >= s.ssdFailAfter {
+		if err := s.FailSSD(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// ssdWriteCount is the write count the fault plan's ssdfail trigger
+// compares against: bridge fragment-log writes plus — for a
+// crash-consistent store — the store's own record appends.
+func (s *DataServer) ssdWriteCount() int64 {
+	n := s.ctr.fragmentWrites.Load()
+	if s.durable != nil {
+		n += s.durable.RecordAppends()
+	}
+	return n
 }
 
 // failSSDLocked executes the SSD-device failure (logMu held): the
@@ -672,7 +716,18 @@ func (s *DataServer) failSSDLocked() error {
 		return nil
 	}
 	s.plan.NoteSSDFail()
-	return s.flushLocked(0, true)
+	if err := s.flushLocked(0, true); err != nil {
+		return err
+	}
+	if s.durable != nil {
+		// The same simulated device backs the bridge log and the
+		// durable store, so the store's log fails with it: the drained
+		// fragments above landed while the device still answered, and
+		// the store now degrades to its in-memory overlay (DESIGN §10 —
+		// durability lost, bytes kept).
+		return s.durable.FailDevice()
+	}
+	return nil
 }
 
 // FailSSD fails this server's SSD (fragment log) device immediately:

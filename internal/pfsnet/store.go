@@ -2,6 +2,7 @@ package pfsnet
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -9,13 +10,18 @@ import (
 )
 
 // ObjectStore is the data server's backing store for per-file objects.
-// The default is in-memory; FileStore persists objects under a directory.
+// The default is in-memory; FileStore persists objects under a
+// directory, and logstore.LogStore adds crash consistency on top
+// (DESIGN §14). The shared semantic contract — sparse zero-fill reads,
+// negative offsets rejected, concurrent readers — is pinned by the
+// internal/storetest conformance suite, which every implementation
+// must pass.
 type ObjectStore interface {
 	// WriteAt writes data at off in the object for file, growing it as
-	// needed.
+	// needed. Negative offsets are an error.
 	WriteAt(file uint64, off int64, data []byte) error
 	// ReadAt fills p from the object at off; missing ranges read as
-	// zeros (sparse semantics).
+	// zeros (sparse semantics). Negative offsets are an error.
 	ReadAt(file uint64, off int64, p []byte) error
 	// Size returns the current object length for file.
 	Size(file uint64) (int64, error)
@@ -92,6 +98,17 @@ func (s *MemStore) Close() error { return nil }
 // concurrent I/O to independent files proceeds in parallel (the reads
 // and writes themselves are positional pread/pwrite, which need no
 // lock at all).
+//
+// Crash guarantees: almost none, by design. Writes are acknowledged
+// from the page cache; nothing is fsynced until Close, so a machine
+// crash (or SIGKILL before Close) can lose any acknowledged write, and
+// a torn page can corrupt one silently — there are no checksums and no
+// recovery protocol. Close syncs every object file before closing it,
+// so a clean shutdown is durable; that is the entire story. Servers
+// that need crash consistency — replay to the last acknowledged write,
+// torn-write detection, byte-verifiable contents after a kill — use
+// internal/logstore instead (pfs-server -store=log; DESIGN §14 spells
+// out the contrast).
 type FileStore struct {
 	dir string
 
@@ -130,6 +147,9 @@ func (s *FileStore) handle(file uint64) (*os.File, error) {
 
 // WriteAt implements ObjectStore.
 func (s *FileStore) WriteAt(file uint64, off int64, data []byte) error {
+	if off < 0 {
+		return fmt.Errorf("pfsnet: negative offset %d", off)
+	}
 	f, err := s.handle(file)
 	if err != nil {
 		return err
@@ -140,18 +160,22 @@ func (s *FileStore) WriteAt(file uint64, off int64, data []byte) error {
 
 // ReadAt implements ObjectStore.
 func (s *FileStore) ReadAt(file uint64, off int64, p []byte) error {
+	if off < 0 {
+		return fmt.Errorf("pfsnet: negative offset %d", off)
+	}
 	f, err := s.handle(file)
 	if err != nil {
 		return err
 	}
 	n, err := f.ReadAt(p, off)
-	if err != nil && n < len(p) {
+	if err == io.EOF || (err == nil && n == len(p)) {
 		// Short read past EOF: the remainder is zeros (sparse).
-		for i := n; i < len(p); i++ {
-			p[i] = 0
-		}
+		clear(p[n:])
+		return nil
 	}
-	return nil
+	// A genuine I/O error must surface, not read as zeros: zero-filling
+	// here would turn device trouble into silently wrong data.
+	return err
 }
 
 // Size implements ObjectStore.
@@ -180,12 +204,17 @@ func (s *FileStore) Close() error {
 	}
 	clear(s.files)
 	s.mu.Unlock()
-	// Close outside the lock (file close hits the kernel) and in id
-	// order, so which close error wins is deterministic rather than a
-	// function of map iteration order.
+	// Sync then close outside the lock (both hit the kernel) and in id
+	// order, so which error wins is deterministic rather than a
+	// function of map iteration order. The fsync is what makes a clean
+	// shutdown durable — it is also the only fsync this store ever
+	// issues (see the type comment).
 	sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
 	var first error
 	for _, h := range hs {
+		if err := h.f.Sync(); err != nil && first == nil {
+			first = err
+		}
 		if err := h.f.Close(); err != nil && first == nil {
 			first = err
 		}
